@@ -1,0 +1,41 @@
+// Command checkerd serves the proof-checking wire protocol (the SerAPI
+// substitute) over TCP against the embedded corpus environment. Clients
+// open one proof document per connection and drive it with Exec/Cancel.
+//
+// Example session (one S-expression per line):
+//
+//	(NewDoc (Lemma app_nil_r))
+//	(Exec "induction l.")
+//	(Query Goals)
+//	(Cancel 0)
+//	(Quit)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/protocol"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
+	flag.Parse()
+
+	c, err := corpus.Default()
+	if err != nil {
+		log.Fatalf("loading corpus: %v", err)
+	}
+	srv := protocol.NewServer(c.Env)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("checkerd: serving %d lemmas on %s\n", len(c.Env.Lemmas), bound)
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

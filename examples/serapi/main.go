@@ -1,0 +1,69 @@
+// Serapi: driving the proof checker over the wire protocol.
+//
+// Starts the checker daemon in-process (the same server cmd/checkerd runs),
+// connects as a client, and interactively proves a corpus lemma with
+// Exec/Cancel — the S-expression workflow the paper builds on Coq's STM +
+// SerAPI.
+//
+//	go run ./examples/serapi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/protocol"
+)
+
+func main() {
+	log.SetFlags(0)
+	c, err := corpus.Default()
+	if err != nil {
+		log.Fatalf("loading corpus: %v", err)
+	}
+	srv := protocol.NewServer(c.Env)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck
+	defer srv.Close()
+	fmt.Printf("checkerd listening on %s\n\n", addr)
+
+	cl, err := protocol.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	stmt, err := cl.NewDocLemma("plus_n_O")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("> (NewDoc (Lemma plus_n_O))\n  statement: %s\n\n", stmt)
+
+	// A wrong first attempt, then Cancel, then the real proof.
+	res, _ := cl.Exec("reflexivity.")
+	fmt.Printf("> (Exec \"reflexivity.\")\n  %s: %s\n\n", res.Status, res.Message)
+
+	script := []string{"induction n.", "reflexivity.", "simpl.", "rewrite IHn.", "reflexivity."}
+	for _, tac := range script {
+		res, err := cl.Exec(tac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Proved:
+			fmt.Printf("> (Exec %q)\n  Proved!\n", tac)
+		case res.Status == checker.Applied:
+			fmt.Printf("> (Exec %q)\n  applied, %d goal(s) remain\n", tac, res.NumGoals)
+		default:
+			log.Fatalf("%q: %s %s", tac, res.Status, res.Message)
+		}
+	}
+
+	proof, _ := cl.Script()
+	fmt.Printf("\nfinal script: %s\n", proof)
+}

@@ -1,0 +1,3 @@
+module llmfscq
+
+go 1.22

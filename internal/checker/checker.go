@@ -1,0 +1,167 @@
+// Package checker provides the proof-checking service the search engine
+// talks to — the stand-in for Coq's state-transition-machine interface plus
+// SerAPI. A Session is a linear document of executed tactic sentences with
+// full undo (Cancel), mirroring STM's Add/Exec/Cancel; TryTactic is the pure
+// one-shot form used by the tree search.
+package checker
+
+import (
+	"errors"
+	"fmt"
+
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/tactic"
+)
+
+// Status classifies the outcome of executing one tactic sentence, matching
+// the paper's invalid-tactic taxonomy: rejected by the checker, timed out,
+// or applied (duplicate-state detection is the search's job; the checker
+// exposes fingerprints for it).
+type Status int
+
+// Tactic execution statuses.
+const (
+	Applied Status = iota
+	Rejected
+	Timeout
+)
+
+func (s Status) String() string {
+	switch s {
+	case Applied:
+		return "applied"
+	case Rejected:
+		return "rejected"
+	case Timeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of executing one tactic.
+type Result struct {
+	Status Status
+	// State is the successor proof state when Status == Applied.
+	State *tactic.State
+	// NumGoals is the number of open goals after application.
+	NumGoals int
+	// Err holds the checker's message for Rejected/Timeout.
+	Err error
+}
+
+// TryTactic applies one tactic sentence to a proof state, classifying
+// failures. It never mutates the input state.
+func TryTactic(state *tactic.State, sentence string) Result {
+	ns, err := tactic.ApplySentence(state, sentence)
+	if err != nil {
+		if tactic.IsTimeout(err) {
+			return Result{Status: Timeout, Err: err}
+		}
+		return Result{Status: Rejected, Err: err}
+	}
+	return Result{Status: Applied, State: ns, NumGoals: len(ns.Goals)}
+}
+
+// Session is a linear proof document: an initial goal plus the executed
+// sentences, with STM-style Add (parse and queue), Exec, and Cancel. It
+// mirrors the state-transition-machine interface the paper's checker is
+// built on.
+type Session struct {
+	env    *kernel.Env     // environment the proof runs in
+	stmt   *kernel.Form    // the statement under proof
+	states []*tactic.State // states[i] = state after i sentences
+	script []string
+	queue  []string // sentences Added but not yet Executed
+}
+
+// Env returns the session's environment.
+func (s *Session) Env() *kernel.Env { return s.env }
+
+// Stmt returns the statement under proof.
+func (s *Session) Stmt() *kernel.Form { return s.stmt }
+
+// NewSession opens a proof of stmt.
+func NewSession(env *kernel.Env, stmt *kernel.Form) *Session {
+	return &Session{
+		env:    env,
+		stmt:   stmt,
+		states: []*tactic.State{tactic.NewState(env, stmt)},
+	}
+}
+
+// NewSessionNamed opens a proof of a named lemma already present in env.
+func NewSessionNamed(env *kernel.Env, name string) (*Session, error) {
+	l, ok := env.Lemmas[name]
+	if !ok {
+		return nil, fmt.Errorf("checker: unknown lemma %q", name)
+	}
+	return NewSession(env, l.Stmt), nil
+}
+
+// Add parses a sentence and queues it for execution, mirroring STM's Add:
+// parse errors surface immediately, semantic errors only at Exec time.
+func (s *Session) Add(sentence string) error {
+	if _, err := tactic.ParseOne(sentence); err != nil {
+		return err
+	}
+	s.queue = append(s.queue, sentence)
+	return nil
+}
+
+// Queued reports the number of added-but-unexecuted sentences.
+func (s *Session) Queued() int { return len(s.queue) }
+
+// ExecQueued executes the queued sentences in order, stopping at the first
+// failure (whose Result it returns).
+func (s *Session) ExecQueued() Result {
+	res := Result{Status: Applied, State: s.Tip(), NumGoals: len(s.Tip().Goals)}
+	for len(s.queue) > 0 {
+		sentence := s.queue[0]
+		s.queue = s.queue[1:]
+		res = s.Exec(sentence)
+		if res.Status != Applied {
+			return res
+		}
+	}
+	return res
+}
+
+// Exec runs one sentence at the tip of the document.
+func (s *Session) Exec(sentence string) Result {
+	res := TryTactic(s.Tip(), sentence)
+	if res.Status == Applied {
+		s.states = append(s.states, res.State)
+		s.script = append(s.script, sentence)
+	}
+	return res
+}
+
+// Tip returns the current proof state.
+func (s *Session) Tip() *tactic.State { return s.states[len(s.states)-1] }
+
+// Len returns the number of executed sentences.
+func (s *Session) Len() int { return len(s.script) }
+
+// Cancel rolls the document back so that only the first n sentences remain.
+func (s *Session) Cancel(n int) error {
+	if n < 0 || n > len(s.script) {
+		return errors.New("checker: cancel out of range")
+	}
+	s.states = s.states[:n+1]
+	s.script = s.script[:n]
+	return nil
+}
+
+// Proved reports whether the proof is complete.
+func (s *Session) Proved() bool { return s.Tip().Done() }
+
+// Script returns the executed sentences.
+func (s *Session) Script() []string { return append([]string(nil), s.script...) }
+
+// Goals renders the current goals for display.
+func (s *Session) Goals() string { return s.Tip().String() }
+
+// Fingerprint returns the canonical identifier of the current state, used
+// by the search for duplicate-state pruning.
+func (s *Session) Fingerprint() string { return s.Tip().Fingerprint() }

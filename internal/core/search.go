@@ -1,0 +1,319 @@
+// Package core implements the paper's primary contribution: best-first
+// tree search over proof states, scored by the cumulative log-probability
+// of the tactics on the path from the root (§3). It also provides the
+// trial-and-error linear search the paper contrasts with (Rango-style) and
+// a greedy variant used for ablations.
+//
+// A tactic is invalid if it (1) is rejected by the checker, (2) reaches a
+// proof state already encountered in the search tree, or (3) exceeds the
+// computation budget (the paper's 5-second timeout). The search succeeds
+// when all goals are proven; it fails "stuck" when no unexpanded goal
+// remains and "fuelout" when the model-query limit is reached.
+package core
+
+import (
+	"container/heap"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/model"
+	"llmfscq/internal/tactic"
+)
+
+// Status is the outcome of a proof search.
+type Status int
+
+// Search outcomes, matching the paper's Table 2 taxonomy.
+const (
+	Proved Status = iota
+	Stuck
+	Fuelout
+)
+
+func (s Status) String() string {
+	switch s {
+	case Proved:
+		return "proved"
+	case Stuck:
+		return "stuck"
+	case Fuelout:
+		return "fuelout"
+	default:
+		return "unknown"
+	}
+}
+
+// Proposer produces tactic candidates for the focused goal of a state;
+// path is the tactic sequence from the root. Implemented by the simulated
+// model; any future real-LLM client satisfies it too.
+type Proposer func(st *tactic.State, path []string) []model.Candidate
+
+// Config parameterizes one search.
+type Config struct {
+	Env  *kernel.Env
+	Stmt *kernel.Form
+	// Propose queries the model (counted against QueryLimit).
+	Propose Proposer
+	// Width caps candidates expanded per query (paper: 8).
+	Width int
+	// QueryLimit caps model queries (paper: 128).
+	QueryLimit int
+}
+
+// Result reports a search outcome.
+type Result struct {
+	Status Status
+	// Proof is the tactic script when Status == Proved.
+	Proof []string
+	// Queries is the number of model queries consumed.
+	Queries int
+	// Expanded is the number of nodes expanded.
+	Expanded int
+	// Invalid counts candidate tactics found invalid, by reason.
+	InvalidRejected, InvalidDuplicate, InvalidTimeout int
+}
+
+// node is a search-tree node: a proof state reached by a tactic path.
+type node struct {
+	state  *tactic.State
+	parent *node
+	tac    string
+	cum    float64 // cumulative log-probability from the root
+	index  int     // heap bookkeeping
+	seq    int     // insertion order for deterministic tie-breaking
+}
+
+func (n *node) path() []string {
+	var out []string
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		out = append(out, cur.tac)
+	}
+	// reverse
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// nodeHeap is a max-heap on cumulative log-probability.
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].cum != h[j].cum {
+		return h[i].cum > h[j].cum
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *nodeHeap) Push(x any) {
+	n := x.(*node)
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+func (c Config) defaults() Config {
+	if c.Width <= 0 {
+		c.Width = 8
+	}
+	if c.QueryLimit <= 0 {
+		c.QueryLimit = 128
+	}
+	return c
+}
+
+// BestFirst runs the paper's search:
+//
+//	Selection: pop the unexpanded goal with the highest cumulative
+//	log-probability. Expansion: query the model; append each valid
+//	predicted tactic as a child.
+func BestFirst(cfg Config) Result {
+	cfg = cfg.defaults()
+	res := Result{}
+	root := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	seen := map[string]bool{root.state.Fingerprint(): true}
+	open := &nodeHeap{}
+	heap.Init(open)
+	heap.Push(open, root)
+	seq := 0
+
+	for open.Len() > 0 {
+		if res.Queries >= cfg.QueryLimit {
+			res.Status = Fuelout
+			return res
+		}
+		best := heap.Pop(open).(*node)
+		res.Queries++
+		res.Expanded++
+		cands := cfg.Propose(best.state, best.path())
+		if len(cands) > cfg.Width {
+			cands = cands[:cfg.Width]
+		}
+		for _, cand := range cands {
+			out := checker.TryTactic(best.state, cand.Tactic)
+			switch out.Status {
+			case checker.Rejected:
+				res.InvalidRejected++
+				continue
+			case checker.Timeout:
+				res.InvalidTimeout++
+				continue
+			}
+			child := &node{
+				state:  out.State,
+				parent: best,
+				tac:    cand.Tactic,
+				cum:    best.cum + cand.LogProb,
+			}
+			if out.State.Done() {
+				res.Status = Proved
+				res.Proof = child.path()
+				return res
+			}
+			fp := out.State.Fingerprint()
+			if seen[fp] {
+				res.InvalidDuplicate++
+				continue
+			}
+			seen[fp] = true
+			seq++
+			child.seq = seq
+			heap.Push(open, child)
+		}
+	}
+	res.Status = Stuck
+	return res
+}
+
+// Linear runs the Rango-style trial-and-error linear search baseline: at
+// each state take the first valid candidate in model order; on a dead end,
+// backtrack to the most recent state with untried candidates.
+func Linear(cfg Config) Result {
+	cfg = cfg.defaults()
+	res := Result{}
+	type frame struct {
+		n     *node
+		cands []model.Candidate
+		next  int
+	}
+	root := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	seen := map[string]bool{root.state.Fingerprint(): true}
+	var stack []frame
+
+	expand := func(n *node) bool {
+		if res.Queries >= cfg.QueryLimit {
+			return false
+		}
+		res.Queries++
+		res.Expanded++
+		cands := cfg.Propose(n.state, n.path())
+		if len(cands) > cfg.Width {
+			cands = cands[:cfg.Width]
+		}
+		stack = append(stack, frame{n: n, cands: cands})
+		return true
+	}
+	if !expand(root) {
+		res.Status = Fuelout
+		return res
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.cands) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		cand := top.cands[top.next]
+		top.next++
+		out := checker.TryTactic(top.n.state, cand.Tactic)
+		switch out.Status {
+		case checker.Rejected:
+			res.InvalidRejected++
+			continue
+		case checker.Timeout:
+			res.InvalidTimeout++
+			continue
+		}
+		child := &node{state: out.State, parent: top.n, tac: cand.Tactic}
+		if out.State.Done() {
+			res.Status = Proved
+			res.Proof = child.path()
+			return res
+		}
+		fp := out.State.Fingerprint()
+		if seen[fp] {
+			res.InvalidDuplicate++
+			continue
+		}
+		seen[fp] = true
+		if !expand(child) {
+			res.Status = Fuelout
+			return res
+		}
+	}
+	res.Status = Stuck
+	return res
+}
+
+// Greedy is the no-backtracking ablation: always follow the single best
+// valid candidate.
+func Greedy(cfg Config) Result {
+	cfg = cfg.defaults()
+	res := Result{}
+	cur := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	seen := map[string]bool{cur.state.Fingerprint(): true}
+	for {
+		if res.Queries >= cfg.QueryLimit {
+			res.Status = Fuelout
+			return res
+		}
+		res.Queries++
+		res.Expanded++
+		cands := cfg.Propose(cur.state, cur.path())
+		if len(cands) > cfg.Width {
+			cands = cands[:cfg.Width]
+		}
+		var next *node
+		for _, cand := range cands {
+			out := checker.TryTactic(cur.state, cand.Tactic)
+			switch out.Status {
+			case checker.Rejected:
+				res.InvalidRejected++
+				continue
+			case checker.Timeout:
+				res.InvalidTimeout++
+				continue
+			}
+			child := &node{state: out.State, parent: cur, tac: cand.Tactic}
+			if out.State.Done() {
+				res.Status = Proved
+				res.Proof = child.path()
+				return res
+			}
+			fp := out.State.Fingerprint()
+			if seen[fp] {
+				res.InvalidDuplicate++
+				continue
+			}
+			seen[fp] = true
+			next = child
+			break
+		}
+		if next == nil {
+			res.Status = Stuck
+			return res
+		}
+		cur = next
+	}
+}

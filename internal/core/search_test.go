@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/model"
+	"llmfscq/internal/tactic"
+)
+
+// scriptedProposer replays a fixed map from goal fingerprints to candidate
+// lists, for deterministic search-behavior tests.
+func scripted(plan map[string][]model.Candidate) Proposer {
+	return func(st *tactic.State, path []string) []model.Candidate {
+		return plan[st.Goals[0].Fingerprint()]
+	}
+}
+
+func loadEnv(t testing.TB) (*kernel.Env, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Env, c
+}
+
+func TestBestFirstProvesWithPerfectOracle(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("app_nil_r")
+	steps := []string{"induction l.", "reflexivity.", "simpl.", "rewrite IHl.", "reflexivity."}
+	i := 0
+	res := BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			if i >= len(steps) {
+				return nil
+			}
+			c := model.Candidate{Tactic: steps[i], LogProb: -0.1}
+			i++
+			return []model.Candidate{c}
+		},
+	})
+	if res.Status != Proved {
+		t.Fatalf("oracle search failed: %v", res.Status)
+	}
+	if len(res.Proof) != len(steps) {
+		t.Fatalf("proof %v", res.Proof)
+	}
+	if res.Queries != len(steps) {
+		t.Fatalf("queries %d", res.Queries)
+	}
+}
+
+func TestBestFirstSelectsHighestCumLogProb(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("plus_O_n")
+	// Root: two candidates; the high-probability branch ("intros.") must be
+	// expanded before the low one.
+	var expandedOrder []string
+	res := BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			if len(path) > 0 {
+				expandedOrder = append(expandedOrder, path[0])
+			}
+			if len(path) == 0 {
+				return []model.Candidate{
+					{Tactic: "intros.", LogProb: -0.1},
+					{Tactic: "induction n.", LogProb: -3.0},
+				}
+			}
+			if path[len(path)-1] == "intros." {
+				return []model.Candidate{{Tactic: "reflexivity.", LogProb: -0.1}}
+			}
+			return nil
+		},
+		QueryLimit: 8,
+	})
+	if res.Status != Proved {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(expandedOrder) == 0 || expandedOrder[0] != "intros." {
+		t.Fatalf("expansion order %v", expandedOrder)
+	}
+}
+
+func TestFueloutAndStuck(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("plus_comm")
+	// A proposer that always returns a valid but useless cycle runs out of
+	// fuel (each expansion costs a query).
+	res := BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			return []model.Candidate{{Tactic: "intros.", LogProb: -1}, {Tactic: "assert (0 = 0) as HQ || assert (1 = 1) as HQ2 || idtac.", LogProb: -2}}
+		},
+		QueryLimit: 5,
+	})
+	if res.Status == Proved {
+		t.Fatal("nonsense proposer proved a theorem")
+	}
+	// A proposer with nothing to say gets stuck immediately.
+	res = BestFirst(Config{
+		Env:     env,
+		Stmt:    th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate { return nil },
+	})
+	if res.Status != Stuck || res.Queries != 1 {
+		t.Fatalf("empty proposer: %v after %d queries", res.Status, res.Queries)
+	}
+}
+
+func TestDuplicateStatesPruned(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("plus_comm")
+	// symmetry twice cycles; dedup must catch it and the search must stop
+	// as stuck rather than looping to fuelout.
+	res := BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			if len(path) == 0 {
+				return []model.Candidate{{Tactic: "intros.", LogProb: -0.1}}
+			}
+			return []model.Candidate{{Tactic: "symmetry.", LogProb: -0.1}}
+		},
+		QueryLimit: 100,
+	})
+	if res.Status != Stuck {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.InvalidDuplicate == 0 {
+		t.Fatal("no duplicates detected")
+	}
+	if res.Queries >= 100 {
+		t.Fatal("cycle not pruned")
+	}
+}
+
+func TestWidthCap(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("plus_comm")
+	seen := 0
+	BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			out := make([]model.Candidate, 20)
+			for i := range out {
+				out[i] = model.Candidate{Tactic: "intros.", LogProb: -1}
+			}
+			seen++
+			return out
+		},
+		Width:      3,
+		QueryLimit: 1,
+	})
+	_ = seen // the cap is internal; this test just exercises the path
+}
+
+func TestLinearAndGreedy(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("plus_O_n")
+	prop := func(st *tactic.State, path []string) []model.Candidate {
+		return []model.Candidate{
+			{Tactic: "intros.", LogProb: -0.2},
+			{Tactic: "reflexivity.", LogProb: -0.4},
+		}
+	}
+	for name, search := range map[string]func(Config) Result{"linear": Linear, "greedy": Greedy} {
+		res := search(Config{Env: env, Stmt: th.Stmt, Propose: prop, QueryLimit: 16})
+		if res.Status != Proved {
+			t.Fatalf("%s: %v", name, res.Status)
+		}
+	}
+}
+
+func TestProofsAreReplayable(t *testing.T) {
+	env, c := loadEnv(t)
+	th, _ := c.TheoremNamed("app_nil_r")
+	steps := []string{"induction l.", "reflexivity.", "simpl.", "rewrite IHl.", "reflexivity."}
+	i := 0
+	res := BestFirst(Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			if i >= len(steps) {
+				return nil
+			}
+			cnd := model.Candidate{Tactic: steps[i], LogProb: -0.1}
+			i++
+			return []model.Candidate{cnd}
+		},
+	})
+	if res.Status != Proved {
+		t.Fatal(res.Status)
+	}
+	// The returned proof must independently check.
+	script := ""
+	for _, s := range res.Proof {
+		script += s + " "
+	}
+	if err := tactic.CheckProof(env, th.Stmt, script); err != nil {
+		t.Fatalf("returned proof does not replay: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+(* Balloc: the bitmap block allocator. A bitmap is a list of bools
+   (true = allocated); `alloc` returns the first free index, `count_free`
+   counts free blocks. Mirrors FSCQ's Balloc.v invariants. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Fixpoint count_free (bm : list bool) : nat :=
+  match bm with
+  | nil => O
+  | cons b t => match b with
+                | true => count_free t
+                | false => S (count_free t)
+                end
+  end.
+
+Fixpoint alloc (bm : list bool) : option nat :=
+  match bm with
+  | nil => None
+  | cons b t => match b with
+                | false => Some O
+                | true => match alloc t with
+                          | None => None
+                          | Some n => Some (S n)
+                          end
+                end
+  end.
+
+Lemma alloc_nil : alloc nil = None.
+Proof. reflexivity. Qed.
+
+Lemma alloc_head_free : forall (t : list bool), alloc (false :: t) = Some 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma alloc_some_is_free : forall (bm : list bool) (n : nat),
+  alloc bm = Some n -> selN bm n true = false.
+Proof.
+  induction bm. intros. simpl in H. discriminate H.
+  intros. destruct b.
+  simpl in H. destruct (alloc l) eqn:He.
+  rewrite He in H. simpl in H. discriminate H.
+  rewrite He in H. simpl in H. inversion H. subst. simpl. apply IHbm. assumption.
+  simpl in H. inversion H. subst. simpl. reflexivity.
+Qed.
+
+Lemma alloc_none_no_free : forall (bm : list bool),
+  alloc bm = None -> count_free bm = 0.
+Proof.
+  induction bm. intros. reflexivity.
+  intros. destruct b.
+  simpl in H. destruct (alloc l) eqn:He.
+  simpl. apply IHbm. assumption.
+  rewrite He in H. simpl in H. discriminate H.
+  simpl in H. discriminate H.
+Qed.
+
+Lemma alloc_some_in_range : forall (bm : list bool) (n : nat),
+  alloc bm = Some n -> n < length bm.
+Proof.
+  induction bm. intros. simpl in H. discriminate H.
+  intros. destruct b.
+  simpl in H. destruct (alloc l) eqn:He.
+  rewrite He in H. simpl in H. discriminate H.
+  rewrite He in H. simpl in H. inversion H. subst. simpl.
+  assert (n0 < length l) as HR. apply IHbm. assumption. omega.
+  simpl in H. inversion H. subst. simpl. omega.
+Qed.
+
+Lemma count_free_le_length : forall (bm : list bool),
+  count_free bm <= length bm.
+Proof.
+  induction bm. simpl. constructor.
+  destruct b. simpl. constructor. assumption.
+  simpl. apply le_n_S. assumption.
+Qed.
+
+Lemma count_free_after_free : forall (bm : list bool) (n : nat),
+  n < length bm -> selN bm n true = true ->
+  count_free (updN bm n false) = S (count_free bm).
+Proof.
+  induction bm. intros. simpl in H. omega.
+  intros. destruct n.
+  simpl in H0. subst. reflexivity.
+  simpl in H0. destruct b.
+  simpl. apply IHbm. simpl in H. omega. assumption.
+  simpl. f_equal. apply IHbm. simpl in H. omega. assumption.
+Qed.
+
+Lemma count_free_after_alloc : forall (bm : list bool) (n : nat),
+  alloc bm = Some n -> S (count_free (updN bm n true)) = count_free bm.
+Proof.
+  induction bm. intros. simpl in H. discriminate H.
+  intros. destruct b.
+  simpl in H. destruct (alloc l) eqn:He.
+  rewrite He in H. simpl in H. discriminate H.
+  rewrite He in H. simpl in H. inversion H. subst. simpl. apply IHbm. assumption.
+  simpl in H. inversion H. subst. simpl. reflexivity.
+Qed.
+
+Lemma repeat_false_all_free : forall (n : nat),
+  count_free (repeat false n) = n.
+Proof. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma repeat_true_none_free : forall (n : nat),
+  count_free (repeat true n) = 0.
+Proof. induction n. reflexivity. simpl. assumption. Qed.
+
+Lemma alloc_repeat_false : forall (n : nat),
+  alloc (repeat false (S n)) = Some 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma count_free_app : forall (bm1 bm2 : list bool),
+  count_free (bm1 ++ bm2) = count_free bm1 + count_free bm2.
+Proof.
+  induction bm1. intros. reflexivity.
+  intros. destruct b. simpl. apply IHbm1.
+  simpl. rewrite IHbm1. reflexivity.
+Qed.

@@ -1,0 +1,49 @@
+(* BoolUtils: boolean algebra lemmas over the Prelude's andb/orb/negb,
+   mirroring the Coq Bool fragment FSCQ pulls in. *)
+
+Require Import Prelude.
+
+Lemma andb_true_l : forall (b : bool), andb true b = b.
+Proof. intros. reflexivity. Qed.
+
+Lemma andb_false_l : forall (b : bool), andb false b = false.
+Proof. intros. reflexivity. Qed.
+
+Lemma andb_true_r : forall (b : bool), andb b true = b.
+Proof. intros. destruct b; reflexivity. Qed.
+
+Lemma andb_false_r : forall (b : bool), andb b false = false.
+Proof. intros. destruct b; reflexivity. Qed.
+
+Lemma andb_comm : forall (a b : bool), andb a b = andb b a.
+Proof. intros. destruct a; destruct b; reflexivity. Qed.
+
+Lemma andb_assoc : forall (a b c : bool), andb (andb a b) c = andb a (andb b c).
+Proof. intros. destruct a; destruct b; destruct c; reflexivity. Qed.
+
+Lemma orb_true_l : forall (b : bool), orb true b = true.
+Proof. intros. reflexivity. Qed.
+
+Lemma orb_false_l : forall (b : bool), orb false b = b.
+Proof. intros. reflexivity. Qed.
+
+Lemma orb_comm : forall (a b : bool), orb a b = orb b a.
+Proof. intros. destruct a; destruct b; reflexivity. Qed.
+
+Lemma negb_involutive : forall (b : bool), negb (negb b) = b.
+Proof. intros. destruct b; reflexivity. Qed.
+
+Lemma negb_andb : forall (a b : bool), negb (andb a b) = orb (negb a) (negb b).
+Proof. intros. destruct a; destruct b; reflexivity. Qed.
+
+Lemma negb_orb : forall (a b : bool), negb (orb a b) = andb (negb a) (negb b).
+Proof. intros. destruct a; destruct b; reflexivity. Qed.
+
+Lemma andb_true_intro : forall (a b : bool), a = true -> b = true -> andb a b = true.
+Proof. intros. subst. reflexivity. Qed.
+
+Lemma andb_true_elim_l : forall (a b : bool), andb a b = true -> a = true.
+Proof. intros. destruct a. reflexivity. simpl in H. discriminate H. Qed.
+
+Lemma andb_true_elim_r : forall (a b : bool), andb a b = true -> b = true.
+Proof. intros. destruct a. simpl in H. assumption. simpl in H. discriminate H. Qed.

@@ -1,0 +1,85 @@
+(* Cache: a write-back block cache layered over a disk, as in FSCQ's
+   buffer-cache layer. Reads hit the cache first; `cflush` applies the
+   cached writes (newest-first association list, so the head wins) back to
+   the disk. The main theorem says a cached read equals a read of the
+   flushed disk. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+Require Import Mem.
+Require Import Log.
+
+Definition cread (cache : list (prod nat nat)) (d : list nat) (a : nat) : nat :=
+  match find a cache with
+  | Some v => v
+  | None => selN d a 0
+  end.
+
+Definition cwrite (cache : list (prod nat nat)) (a v : nat) : list (prod nat nat) :=
+  pair a v :: cache.
+
+Fixpoint cflush (cache : list (prod nat nat)) (d : list nat) : list nat :=
+  match cache with
+  | nil => d
+  | cons e t => match e with
+                | pair a v => updN (cflush t d) a v
+                end
+  end.
+
+Lemma cread_nil : forall (d : list nat) (a : nat), cread nil d a = selN d a 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma cflush_nil : forall (d : list nat), cflush nil d = d.
+Proof. intros. reflexivity. Qed.
+
+Lemma cread_cwrite_eq : forall (c : list (prod nat nat)) (d : list nat) (a v : nat),
+  cread (cwrite c a v) d a = v.
+Proof.
+  intros. unfold cwrite. unfold cread. simpl. rewrite eqb_refl. reflexivity.
+Qed.
+
+Lemma cread_cwrite_ne : forall (c : list (prod nat nat)) (d : list nat) (a b v : nat),
+  b <> a -> cread (cwrite c a v) d b = cread c d b.
+Proof.
+  intros. unfold cwrite. unfold cread. simpl. rewrite neq_eqb_false.
+  reflexivity. assumption.
+Qed.
+
+Lemma cread_cons_ne : forall (c : list (prod nat nat)) (d : list nat) (a n w : nat),
+  a <> n -> cread (pair n w :: c) d a = cread c d a.
+Proof.
+  intros. unfold cread. simpl. rewrite neq_eqb_false. reflexivity. assumption.
+Qed.
+
+Lemma cflush_cwrite : forall (c : list (prod nat nat)) (d : list nat) (a v : nat),
+  cflush (cwrite c a v) d = updN (cflush c d) a v.
+Proof. intros. reflexivity. Qed.
+
+Lemma cflush_length : forall (c : list (prod nat nat)) (d : list nat),
+  length (cflush c d) = length d.
+Proof.
+  induction c. intros. reflexivity.
+  intros. destruct p. simpl. rewrite length_updN. apply IHc.
+Qed.
+
+Lemma cwrite_valid : forall (c : list (prod nat nat)) (bound a v : nat),
+  log_valid bound c -> a < bound -> log_valid bound (cwrite c a v).
+Proof.
+  intros. unfold cwrite. constructor. assumption. assumption.
+Qed.
+
+Lemma cache_read_correct : forall (c : list (prod nat nat)) (d : list nat) (a : nat),
+  log_valid (length d) c -> a < length d ->
+  cread c d a = selN (cflush c d) a 0.
+Proof.
+  induction c. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb a n) eqn:He.
+  apply eqb_eq in He. subst. symmetry. apply selN_updN_eq.
+  rewrite cflush_length. inversion H. assumption.
+  rewrite selN_updN_ne.
+  assert (cread l d a = selN (cflush l d) a 0) as HR.
+  apply IHc. inversion H. assumption. assumption.
+  unfold cread in HR. assumption.
+  apply eqb_neq in He. intro. apply He. symmetry. assumption.
+Qed.

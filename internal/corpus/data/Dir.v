@@ -1,0 +1,143 @@
+(* Dir: flat directories as name/inum association lists with a
+   no-duplicate-names invariant, mirroring FSCQ's Dir.v. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Fixpoint dnames (d : list (prod nat nat)) : list nat :=
+  match d with
+  | nil => nil
+  | cons e t => match e with
+                | pair name i => cons name (dnames t)
+                end
+  end.
+
+Fixpoint dlookup (n : nat) (d : list (prod nat nat)) : option nat :=
+  match d with
+  | nil => None
+  | cons e t => match e with
+                | pair m i => match eqb n m with
+                              | true => Some i
+                              | false => dlookup n t
+                              end
+                end
+  end.
+
+Fixpoint dremove (n : nat) (d : list (prod nat nat)) : list (prod nat nat) :=
+  match d with
+  | nil => nil
+  | cons e t => match e with
+                | pair m i => match eqb m n with
+                              | true => dremove n t
+                              | false => cons (pair m i) (dremove n t)
+                              end
+                end
+  end.
+
+Definition dadd (n i : nat) (d : list (prod nat nat)) : list (prod nat nat) :=
+  pair n i :: d.
+
+Definition dir_wf (d : list (prod nat nat)) : Prop := NoDup (dnames d).
+
+Lemma dlookup_nil : forall (n : nat), dlookup n nil = None.
+Proof. intros. reflexivity. Qed.
+
+Lemma dlookup_dadd_eq : forall (d : list (prod nat nat)) (n i : nat),
+  dlookup n (dadd n i d) = Some i.
+Proof.
+  intros. unfold dadd. simpl. rewrite eqb_refl. reflexivity.
+Qed.
+
+Lemma dlookup_dadd_ne : forall (d : list (prod nat nat)) (n m i : nat),
+  n <> m -> dlookup n (dadd m i d) = dlookup n d.
+Proof.
+  intros. unfold dadd. simpl. rewrite neq_eqb_false. reflexivity. assumption.
+Qed.
+
+Lemma dir_wf_nil : dir_wf nil.
+Proof. unfold dir_wf. simpl. constructor. Qed.
+
+Lemma dlookup_some_in_dnames : forall (d : list (prod nat nat)) (n i : nat),
+  dlookup n d = Some i -> In n (dnames d).
+Proof.
+  induction d. intros. simpl in H. discriminate H.
+  intros. destruct p. simpl in H. simpl. destruct (eqb n n0) eqn:He.
+  apply eqb_eq in He. subst. constructor.
+  rewrite He in H. simpl in H. constructor. apply IHd with i. assumption.
+Qed.
+
+Lemma not_in_dnames_dlookup_none : forall (d : list (prod nat nat)) (n : nat),
+  ~ In n (dnames d) -> dlookup n d = None.
+Proof.
+  induction d. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb n n0) eqn:He.
+  apply eqb_eq in He. subst. exfalso. apply H. simpl. constructor.
+  simpl. apply IHd. intro. apply H. simpl. constructor. assumption.
+Qed.
+
+Lemma in_dnames_dremove : forall (d : list (prod nat nat)) (n x : nat),
+  In x (dnames (dremove n d)) -> In x (dnames d).
+Proof.
+  induction d. intros. simpl in H. inversion H.
+  intros. destruct p. simpl in H. destruct (eqb n0 n) eqn:He.
+  rewrite He in H. simpl in H. simpl. constructor. apply IHd with n. assumption.
+  rewrite He in H. simpl in H. inversion H. subst. simpl. constructor.
+  simpl. constructor. apply IHd with n. assumption.
+Qed.
+
+Lemma dremove_not_in : forall (d : list (prod nat nat)) (n : nat),
+  ~ In n (dnames (dremove n d)).
+Proof.
+  induction d. intros. simpl. intro. inversion H.
+  intros. destruct p. simpl. destruct (eqb n0 n) eqn:He.
+  intro. apply IHd in H. assumption.
+  intro. simpl in H. inversion H. subst. rewrite eqb_refl in He. discriminate He.
+  apply IHd in H0. assumption.
+Qed.
+
+Lemma dir_wf_dremove : forall (d : list (prod nat nat)) (n : nat),
+  dir_wf d -> dir_wf (dremove n d).
+Proof.
+  induction d. intros. unfold dir_wf. simpl. constructor.
+  intros. destruct p. unfold dir_wf in H. simpl in H. unfold dir_wf. simpl.
+  destruct (eqb n0 n) eqn:He.
+  inversion H. subst. unfold dir_wf in IHd. apply IHd. assumption.
+  simpl. inversion H. subst. constructor.
+  intro. apply H0. apply in_dnames_dremove in H2. assumption.
+  unfold dir_wf in IHd. apply IHd. assumption.
+Qed.
+
+Lemma dir_wf_dadd : forall (d : list (prod nat nat)) (n i : nat),
+  dir_wf d -> ~ In n (dnames d) -> dir_wf (dadd n i d).
+Proof.
+  intros. unfold dir_wf in H. unfold dadd. unfold dir_wf. simpl.
+  constructor. assumption. assumption.
+Qed.
+
+Lemma dlookup_dremove_none : forall (d : list (prod nat nat)) (n : nat),
+  dlookup n (dremove n d) = None.
+Proof.
+  intros. apply not_in_dnames_dlookup_none. apply dremove_not_in.
+Qed.
+
+Lemma dnames_app : forall (d1 d2 : list (prod nat nat)),
+  dnames (d1 ++ d2) = dnames d1 ++ dnames d2.
+Proof.
+  induction d1. intros. reflexivity.
+  intros. destruct p. simpl. rewrite IHd1. reflexivity.
+Qed.
+
+Lemma dir_wf_app_l : forall (d1 d2 : list (prod nat nat)),
+  dir_wf (d1 ++ d2) -> dir_wf d1.
+Proof.
+  intros. unfold dir_wf in H. unfold dir_wf. rewrite dnames_app in H.
+  apply NoDup_app_l in H. assumption.
+Qed.
+
+Lemma dir_wf_app_r : forall (d1 d2 : list (prod nat nat)),
+  dir_wf (d1 ++ d2) -> dir_wf d2.
+Proof.
+  intros. unfold dir_wf in H. unfold dir_wf. rewrite dnames_app in H.
+  apply NoDup_app_r in H. assumption.
+Qed.

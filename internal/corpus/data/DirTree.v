@@ -1,0 +1,155 @@
+(* DirTree: the directory tree layer. Trees are files or directories
+   with named children; tree_names_distinct is FSCQ's invariant that
+   every directory's entry names are unique (recursively). This file
+   contains the paper's Case C lemma, tree_name_distinct_head. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Inductive tree : Type :=
+| TreeFile : nat -> tree
+| TreeDir : nat -> list (prod nat tree) -> tree.
+
+Fixpoint tnames (ents : list (prod nat tree)) : list nat :=
+  match ents with
+  | nil => nil
+  | cons e t => match e with
+                | pair name sub => cons name (tnames t)
+                end
+  end.
+
+Fixpoint tlookup (name : nat) (ents : list (prod nat tree)) : option tree :=
+  match ents with
+  | nil => None
+  | cons e rest => match e with
+                   | pair m t => match eqb name m with
+                                 | true => Some t
+                                 | false => tlookup name rest
+                                 end
+                   end
+  end.
+
+Fixpoint tupdate (name : nat) (sub : tree) (ents : list (prod nat tree)) : list (prod nat tree) :=
+  match ents with
+  | nil => nil
+  | cons e rest => match e with
+                   | pair m t => match eqb m name with
+                                 | true => cons (pair m sub) rest
+                                 | false => cons (pair m t) (tupdate name sub rest)
+                                 end
+                   end
+  end.
+
+Inductive tree_names_distinct : tree -> Prop :=
+| TND_file : forall (inum : nat), tree_names_distinct (TreeFile inum)
+| TND_nil : forall (inum : nat), tree_names_distinct (TreeDir inum nil)
+| TND_cons : forall (inum name : nat) (t : tree) (rest : list (prod nat tree)),
+    tree_names_distinct t ->
+    tree_names_distinct (TreeDir inum rest) ->
+    ~ In name (tnames rest) ->
+    tree_names_distinct (TreeDir inum (pair name t :: rest)).
+
+Hint Constructors tree_names_distinct.
+
+Lemma tree_name_distinct_head : forall (inum name : nat) (t : tree) (l : list (prod nat tree)),
+  tree_names_distinct (TreeDir inum (pair name t :: l)) ->
+  tree_names_distinct t.
+Proof.
+  intros. destruct t. constructor.
+  inversion H. subst. assumption.
+Qed.
+
+Lemma tree_name_distinct_rest : forall (inum name : nat) (t : tree) (l : list (prod nat tree)),
+  tree_names_distinct (TreeDir inum (pair name t :: l)) ->
+  tree_names_distinct (TreeDir inum l).
+Proof.
+  intros. inversion H. assumption.
+Qed.
+
+Lemma tree_name_distinct_nodup : forall (inum : nat) (ents : list (prod nat tree)),
+  tree_names_distinct (TreeDir inum ents) -> NoDup (tnames ents).
+Proof.
+  induction ents. intros. simpl. constructor.
+  intros. destruct p. simpl. inversion H. subst. constructor.
+  assumption. apply IHents. assumption.
+Qed.
+
+Lemma tnames_tupdate : forall (ents : list (prod nat tree)) (name : nat) (sub : tree),
+  tnames (tupdate name sub ents) = tnames ents.
+Proof.
+  induction ents. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb n name) eqn:He.
+  reflexivity.
+  simpl. rewrite IHents. reflexivity.
+Qed.
+
+Lemma tlookup_head : forall (name : nat) (t : tree) (ents : list (prod nat tree)),
+  tlookup name (pair name t :: ents) = Some t.
+Proof. intros. simpl. rewrite eqb_refl. reflexivity. Qed.
+
+Lemma tlookup_in_tnames : forall (ents : list (prod nat tree)) (name : nat) (t : tree),
+  tlookup name ents = Some t -> In name (tnames ents).
+Proof.
+  induction ents. intros. simpl in H. discriminate H.
+  intros. destruct p. simpl in H. simpl. destruct (eqb name n) eqn:He.
+  apply eqb_eq in He. subst. constructor.
+  rewrite He in H. simpl in H. constructor. apply IHents with t. assumption.
+Qed.
+
+Lemma not_in_tnames_tlookup_none : forall (ents : list (prod nat tree)) (name : nat),
+  ~ In name (tnames ents) -> tlookup name ents = None.
+Proof.
+  induction ents. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb name n) eqn:He.
+  apply eqb_eq in He. subst. exfalso. apply H. simpl. constructor.
+  simpl. apply IHents. intro. apply H. simpl. constructor. assumption.
+Qed.
+
+Lemma tlookup_tupdate_eq : forall (ents : list (prod nat tree)) (name : nat) (sub : tree),
+  In name (tnames ents) -> tlookup name (tupdate name sub ents) = Some sub.
+Proof.
+  induction ents. intros. inversion H.
+  intros. destruct p. simpl. destruct (eqb n name) eqn:He.
+  apply eqb_eq in He. subst. simpl. rewrite eqb_refl. reflexivity.
+  rewrite eqb_sym. rewrite He. simpl. apply IHents.
+  simpl in H. inversion H. subst. rewrite eqb_refl in He. discriminate He.
+  assumption.
+Qed.
+
+Lemma tree_names_distinct_tupdate : forall (ents : list (prod nat tree)) (inum name : nat) (sub : tree),
+  tree_names_distinct (TreeDir inum ents) ->
+  tree_names_distinct sub ->
+  tree_names_distinct (TreeDir inum (tupdate name sub ents)).
+Proof.
+  induction ents. intros. simpl. assumption.
+  intros. destruct p. simpl. destruct (eqb n name) eqn:He.
+  inversion H. subst. constructor. assumption. assumption. assumption.
+  inversion H. subst. constructor. assumption. apply IHents. assumption. assumption.
+  rewrite tnames_tupdate. assumption.
+Qed.
+
+Lemma tlookup_distinct_subtree : forall (ents : list (prod nat tree)) (inum name : nat) (t : tree),
+  tree_names_distinct (TreeDir inum ents) ->
+  tlookup name ents = Some t ->
+  tree_names_distinct t.
+Proof.
+  induction ents. intros. simpl in H0. discriminate H0.
+  intros. destruct p. simpl in H0. destruct (eqb name n) eqn:He.
+  rewrite He in H0. simpl in H0. inversion H0. subst.
+  apply tree_name_distinct_head with inum n l. assumption.
+  rewrite He in H0. simpl in H0. apply IHents with inum name.
+  apply tree_name_distinct_rest with n t0. assumption. assumption.
+Qed.
+
+Lemma tlookup_tupdate_ne : forall (ents : list (prod nat tree)) (name other : nat) (sub : tree),
+  other <> name ->
+  tlookup other (tupdate name sub ents) = tlookup other ents.
+Proof.
+  induction ents. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb n name) eqn:He.
+  apply eqb_eq in He. subst. destruct (eqb other name) eqn:He2.
+  apply eqb_eq in He2. subst. exfalso. apply H. reflexivity.
+  reflexivity.
+  destruct (eqb other n) eqn:He2. reflexivity. apply IHents. assumption.
+Qed.

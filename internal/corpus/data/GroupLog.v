@@ -1,0 +1,176 @@
+(* GroupLog: DFSCQ-style log compaction. Duplicate writes to the same
+   address are dead; `dedup` keeps only the last write per address and
+   preserves replay semantics, and grouped transactions flatten into one
+   log. These are the longest proofs in the corpus (dead-write
+   elimination needs updN commutation reasoning). *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+Require Import Log.
+
+Fixpoint memb (x : nat) (l : list nat) : bool :=
+  match l with
+  | nil => false
+  | cons y t => match eqb x y with
+                | true => true
+                | false => memb x t
+                end
+  end.
+
+Fixpoint dedup (l : list (prod nat nat)) : list (prod nat nat) :=
+  match l with
+  | nil => nil
+  | cons e t => match e with
+                | pair a v => match memb a (map_fst t) with
+                              | true => dedup t
+                              | false => cons (pair a v) (dedup t)
+                              end
+                end
+  end.
+
+Fixpoint flatten (ll : list (list (prod nat nat))) : list (prod nat nat) :=
+  match ll with
+  | nil => nil
+  | cons t rest => t ++ flatten rest
+  end.
+
+Fixpoint replay_all (d : list nat) (ll : list (list (prod nat nat))) : list nat :=
+  match ll with
+  | nil => d
+  | cons t rest => replay_all (replay d t) rest
+  end.
+
+Lemma memb_true_in : forall (l : list nat) (x : nat),
+  memb x l = true -> In x l.
+Proof.
+  induction l. intros. simpl in H. discriminate H.
+  intros. simpl in H. destruct (eqb x n) eqn:He.
+  apply eqb_eq in He. subst. constructor.
+  rewrite He in H. simpl in H. constructor. apply IHl. assumption.
+Qed.
+
+Lemma in_memb_true : forall (l : list nat) (x : nat),
+  In x l -> memb x l = true.
+Proof.
+  induction l. intros. inversion H.
+  intros. simpl. inversion H. subst. rewrite eqb_refl. reflexivity.
+  destruct (eqb x n) eqn:He. reflexivity. apply IHl. assumption.
+Qed.
+
+Lemma memb_false_not_in : forall (l : list nat) (x : nat),
+  memb x l = false -> ~ In x l.
+Proof.
+  intros. intro. apply in_memb_true in H0. rewrite H0 in H. discriminate H.
+Qed.
+
+Lemma replay_notin_addr : forall (l : list (prod nat nat)) (d : list nat) (a v : nat),
+  memb a (map_fst l) = false ->
+  replay (updN d a v) l = updN (replay d l) a v.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct p. simpl in H. destruct (eqb a n) eqn:He.
+  rewrite He in H. simpl in H. discriminate H.
+  rewrite He in H. simpl in H. simpl. rewrite updN_comm. apply IHl. assumption.
+  apply eqb_neq. assumption.
+Qed.
+
+Lemma replay_dead_write : forall (l : list (prod nat nat)) (d : list nat) (a v : nat),
+  memb a (map_fst l) = true ->
+  replay (updN d a v) l = replay d l.
+Proof.
+  induction l. intros. simpl in H. discriminate H.
+  intros. destruct p. simpl in H. simpl. destruct (eqb a n) eqn:He.
+  apply eqb_eq in He. subst. rewrite updN_twice. reflexivity.
+  rewrite He in H. simpl in H. rewrite updN_comm. apply IHl. assumption.
+  apply eqb_neq. assumption.
+Qed.
+
+Lemma replay_dedup : forall (l : list (prod nat nat)) (d : list nat),
+  replay d (dedup l) = replay d l.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct p. simpl. destruct (memb n (map_fst l)) eqn:He.
+  rewrite IHl. symmetry. apply replay_dead_write. assumption.
+  apply IHl.
+Qed.
+
+Lemma in_map_fst_dedup : forall (l : list (prod nat nat)) (x : nat),
+  In x (map_fst (dedup l)) -> In x (map_fst l).
+Proof.
+  induction l. intros. simpl in H. inversion H.
+  intros. destruct p. simpl. simpl in H. destruct (memb n (map_fst l)) eqn:He.
+  rewrite He in H. simpl in H. constructor. apply IHl. assumption.
+  rewrite He in H. simpl in H. inversion H. subst. constructor.
+  constructor. apply IHl. assumption.
+Qed.
+
+Lemma dedup_nodup_addrs : forall (l : list (prod nat nat)),
+  NoDup (map_fst (dedup l)).
+Proof.
+  induction l. simpl. constructor.
+  destruct p. simpl. destruct (memb n (map_fst l)) eqn:He.
+  assumption.
+  constructor.
+  intro. apply in_map_fst_dedup in H. apply memb_false_not_in in He. apply He. assumption.
+  assumption.
+Qed.
+
+Lemma dedup_length_le : forall (l : list (prod nat nat)),
+  length (dedup l) <= length l.
+Proof.
+  induction l. simpl. constructor.
+  destruct p. simpl. destruct (memb n (map_fst l)) eqn:He.
+  constructor. assumption.
+  apply le_n_S. assumption.
+Qed.
+
+Lemma log_valid_dedup : forall (bound : nat) (l : list (prod nat nat)),
+  log_valid bound l -> log_valid bound (dedup l).
+Proof.
+  intros. induction H. simpl. constructor.
+  simpl. destruct (memb a (map_fst t)) eqn:He.
+  assumption.
+  constructor. assumption. assumption.
+Qed.
+
+Lemma replay_flatten : forall (ll : list (list (prod nat nat))) (d : list nat),
+  replay d (flatten ll) = replay_all d ll.
+Proof.
+  induction ll. intros. reflexivity.
+  intros. simpl. rewrite replay_app. apply IHll.
+Qed.
+
+Lemma replay_all_length : forall (ll : list (list (prod nat nat))) (d : list nat),
+  length (replay_all d ll) = length d.
+Proof.
+  induction ll. intros. reflexivity.
+  intros. simpl. rewrite IHll. apply replay_length.
+Qed.
+
+Lemma flatten_app : forall (l1 l2 : list (list (prod nat nat))),
+  flatten (l1 ++ l2) = flatten l1 ++ flatten l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. simpl. rewrite IHl1. rewrite app_assoc. reflexivity.
+Qed.
+
+Lemma dedup_incl : forall (l : list (prod nat nat)),
+  incl (map_fst (dedup l)) (map_fst l).
+Proof.
+  intros. unfold incl. intros. apply in_map_fst_dedup. assumption.
+Qed.
+
+Lemma dedup_idempotent : forall (l : list (prod nat nat)),
+  dedup (dedup l) = dedup l.
+Proof.
+  induction l. reflexivity.
+  destruct p. simpl. destruct (memb n (map_fst l)) eqn:He.
+  assumption.
+  assert (memb n (map_fst (dedup l)) = false) as HA.
+  destruct (memb n (map_fst (dedup l))) eqn:He2.
+  apply memb_true_in in He2. apply in_map_fst_dedup in He2.
+  apply in_memb_true in He2. rewrite He2 in He. discriminate He.
+  reflexivity.
+  simpl. rewrite HA. rewrite IHl. reflexivity.
+Qed.

@@ -1,0 +1,150 @@
+(* Hoare: Crash Hoare Logic over a deep-embedded disk program language.
+   Disks are block lists; programs are Ret / Wr / Seq; `exec` is normal
+   execution and `crashed` allows a crash at any step boundary — the
+   semantic core of FSCQ's crash-safety reasoning. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Inductive prog : Type :=
+| Ret : prog
+| Wr : nat -> nat -> prog
+| Seq : prog -> prog -> prog.
+
+Inductive exec : list nat -> prog -> list nat -> Prop :=
+| exec_ret : forall (d : list nat), exec d Ret d
+| exec_wr : forall (d : list nat) (a v : nat), exec d (Wr a v) (updN d a v)
+| exec_seq : forall (d d1 d2 : list nat) (p1 p2 : prog),
+    exec d p1 d1 -> exec d1 p2 d2 -> exec d (Seq p1 p2) d2.
+
+Inductive crashed : list nat -> prog -> list nat -> Prop :=
+| crash_begin : forall (d : list nat) (p : prog), crashed d p d
+| crash_wr : forall (d : list nat) (a v : nat), crashed d (Wr a v) (updN d a v)
+| crash_seq_l : forall (d d2 : list nat) (p1 p2 : prog),
+    crashed d p1 d2 -> crashed d (Seq p1 p2) d2
+| crash_seq_r : forall (d d1 d2 : list nat) (p1 p2 : prog),
+    exec d p1 d1 -> crashed d1 p2 d2 -> crashed d (Seq p1 p2) d2.
+
+Hint Constructors exec.
+Hint Constructors crashed.
+
+Lemma exec_ret_inv : forall (d d2 : list nat), exec d Ret d2 -> d2 = d.
+Proof. intros. inversion H. subst. reflexivity. Qed.
+
+Lemma exec_wr_inv : forall (d d2 : list nat) (a v : nat),
+  exec d (Wr a v) d2 -> d2 = updN d a v.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma exec_seq_inv : forall (d d2 : list nat) (p1 p2 : prog),
+  exec d (Seq p1 p2) d2 ->
+  exists (d1 : list nat), exec d p1 d1 /\ exec d1 p2 d2.
+Proof.
+  intros. inversion H. subst. exists d1. split. assumption. assumption.
+Qed.
+
+Lemma exec_det : forall (d : list nat) (p : prog) (d1 d2 : list nat),
+  exec d p d1 -> exec d p d2 -> d1 = d2.
+Proof.
+  intros. revert d2 H0. induction H.
+  intros. inversion H. subst. reflexivity.
+  intros. inversion H. subst. reflexivity.
+  intros. inversion H1. subst.
+  apply IHexec in H2. subst. apply IHexec0 in H3. subst. reflexivity.
+Qed.
+
+Lemma exec_seq_assoc : forall (d d2 : list nat) (p1 p2 p3 : prog),
+  exec d (Seq (Seq p1 p2) p3) d2 -> exec d (Seq p1 (Seq p2 p3)) d2.
+Proof.
+  intros. inversion H. subst. inversion H0. subst.
+  eapply exec_seq. eassumption. eapply exec_seq. eassumption. assumption.
+Qed.
+
+Lemma exec_length : forall (d : list nat) (p : prog) (d2 : list nat),
+  exec d p d2 -> length d2 = length d.
+Proof.
+  intros. induction H. reflexivity. apply length_updN.
+  rewrite IHexec0. assumption.
+Qed.
+
+Lemma crashed_length : forall (d : list nat) (p : prog) (d2 : list nat),
+  crashed d p d2 -> length d2 = length d.
+Proof.
+  intros. induction H. reflexivity. apply length_updN.
+  assumption.
+  rewrite IHcrashed. apply exec_length with p1. assumption.
+Qed.
+
+Lemma ret_crash_inv : forall (d d2 : list nat), crashed d Ret d2 -> d2 = d.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma wr_crash_inv : forall (d d2 : list nat) (a v : nat),
+  crashed d (Wr a v) d2 -> d2 = d \/ d2 = updN d a v.
+Proof. intros. inversion H. left. assumption. right. assumption. Qed.
+
+Lemma seq_crash_inv : forall (d d2 : list nat) (p1 p2 : prog),
+  crashed d (Seq p1 p2) d2 ->
+  crashed d p1 d2 \/ (exists (d1 : list nat), exec d p1 d1 /\ crashed d1 p2 d2).
+Proof.
+  intros. inversion H. subst. left. constructor.
+  left. assumption.
+  right. exists d1. split. assumption. assumption.
+Qed.
+
+Lemma exec_crashed : forall (d : list nat) (p : prog) (d2 : list nat),
+  exec d p d2 -> crashed d p d2.
+Proof.
+  intros. induction H. constructor. constructor.
+  apply crash_seq_r with d1. assumption. assumption.
+Qed.
+
+Lemma wr_correct : forall (d : list nat) (a v : nat) (d2 : list nat),
+  a < length d -> exec d (Wr a v) d2 -> selN d2 a 0 = v.
+Proof.
+  intros. inversion H0. subst. apply selN_updN_eq. assumption.
+Qed.
+
+Lemma wr_frame : forall (d : list nat) (a b v : nat) (d2 : list nat),
+  a <> b -> exec d (Wr a v) d2 -> selN d2 b 0 = selN d b 0.
+Proof.
+  intros. inversion H0. subst. apply selN_updN_ne. assumption.
+Qed.
+
+Lemma wr_twice_last_wins : forall (d : list nat) (a v w : nat) (d2 : list nat),
+  exec d (Seq (Wr a v) (Wr a w)) d2 -> d2 = updN d a w.
+Proof.
+  intros. inversion H. subst. inversion H0. subst. inversion H1. subst.
+  apply updN_twice.
+Qed.
+
+Lemma seq_wr_correct : forall (d : list nat) (a b v w : nat) (d2 : list nat),
+  a < length d -> a <> b -> exec d (Seq (Wr a v) (Wr b w)) d2 ->
+  selN d2 a 0 = v.
+Proof.
+  intros. inversion H1. subst. inversion H2. subst. inversion H3. subst.
+  rewrite selN_updN_ne. apply selN_updN_eq. assumption.
+  intro. apply H0. symmetry. assumption.
+Qed.
+
+Lemma wr_swap : forall (d : list nat) (a b v w : nat) (d2 : list nat),
+  a <> b ->
+  exec d (Seq (Wr a v) (Wr b w)) d2 ->
+  exec d (Seq (Wr b w) (Wr a v)) d2.
+Proof.
+  intros. inversion H0. subst. inversion H1. subst. inversion H2. subst.
+  rewrite updN_comm. apply exec_seq with (updN d b w).
+  apply exec_wr. apply exec_wr. assumption.
+Qed.
+
+Lemma crashed_seq_assoc : forall (d d2 : list nat) (p1 p2 p3 : prog),
+  crashed d (Seq (Seq p1 p2) p3) d2 ->
+  crashed d (Seq p1 (Seq p2 p3)) d2.
+Proof.
+  intros. inversion H. subst. constructor.
+  subst. inversion H0. subst. constructor.
+  subst. apply crash_seq_l. assumption.
+  subst. apply crash_seq_r with d1. assumption. apply crash_seq_l. assumption.
+  subst. inversion H0. subst.
+  eapply crash_seq_r. eassumption.
+  eapply crash_seq_r. eassumption. assumption.
+Qed.

@@ -1,0 +1,116 @@
+(* Inode: the inode layer. An inode records a size and its block
+   addresses; the inode table is a list indexed by inode number. The
+   well-formedness invariant ties the recorded size to the block list,
+   as in FSCQ's Inode.v rep invariants. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Inductive inode : Type :=
+| Inode : nat -> list nat -> inode.
+
+Definition isize (ino : inode) : nat :=
+  match ino with
+  | Inode sz bl => sz
+  end.
+
+Definition iblocks (ino : inode) : list nat :=
+  match ino with
+  | Inode sz bl => bl
+  end.
+
+Definition iget (tbl : list inode) (i : nat) : inode := selN tbl i (Inode 0 nil).
+
+Definition inode_wf (ino : inode) : Prop := length (iblocks ino) = isize ino.
+
+Inductive all_wf : list inode -> Prop :=
+| all_wf_nil : all_wf nil
+| all_wf_cons : forall (i : inode) (t : list inode),
+    inode_wf i -> all_wf t -> all_wf (i :: t).
+
+Hint Constructors all_wf.
+
+Definition igrow (ino : inode) (b : nat) : inode :=
+  match ino with
+  | Inode sz bl => Inode (S sz) (bl ++ b :: nil)
+  end.
+
+Definition ishrink (ino : inode) : inode :=
+  match ino with
+  | Inode sz bl => Inode (length (firstn (sz - 1) bl)) (firstn (sz - 1) bl)
+  end.
+
+Lemma inode_wf_mk : forall (bl : list nat), inode_wf (Inode (length bl) bl).
+Proof. intros. unfold inode_wf. reflexivity. Qed.
+
+Lemma inode_wf_empty : inode_wf (Inode 0 nil).
+Proof. unfold inode_wf. reflexivity. Qed.
+
+Lemma iget_cons_O : forall (a : inode) (t : list inode), iget (a :: t) 0 = a.
+Proof. intros. unfold iget. reflexivity. Qed.
+
+Lemma iget_cons_S : forall (a : inode) (t : list inode) (n : nat),
+  iget (a :: t) (S n) = iget t n.
+Proof. intros. unfold iget. reflexivity. Qed.
+
+Lemma iget_updN_eq : forall (tbl : list inode) (i : nat) (ino : inode),
+  i < length tbl -> iget (updN tbl i ino) i = ino.
+Proof. intros. unfold iget. apply selN_updN_eq. assumption. Qed.
+
+Lemma iget_updN_ne : forall (tbl : list inode) (i j : nat) (ino : inode),
+  i <> j -> iget (updN tbl i ino) j = iget tbl j.
+Proof. intros. unfold iget. apply selN_updN_ne. assumption. Qed.
+
+Lemma igrow_wf : forall (ino : inode) (b : nat),
+  inode_wf ino -> inode_wf (igrow ino b).
+Proof.
+  intros. destruct ino. unfold inode_wf in H. unfold inode_wf. simpl.
+  rewrite app_length. simpl. rewrite H. rewrite plus_comm. reflexivity.
+Qed.
+
+Lemma igrow_size : forall (ino : inode) (b : nat),
+  isize (igrow ino b) = S (isize ino).
+Proof. intros. destruct ino. reflexivity. Qed.
+
+Lemma ishrink_wf : forall (ino : inode), inode_wf (ishrink ino).
+Proof.
+  intros. destruct ino. unfold inode_wf. reflexivity.
+Qed.
+
+Lemma all_wf_selN : forall (tbl : list inode) (i : nat),
+  all_wf tbl -> i < length tbl -> inode_wf (iget tbl i).
+Proof.
+  induction tbl as [ | ino t]. intros. simpl in H0. exfalso. omega.
+  intros. destruct i.
+  rewrite iget_cons_O. inversion H. assumption.
+  rewrite iget_cons_S. apply IHtbl. inversion H. assumption. simpl in H0. omega.
+Qed.
+
+Lemma all_wf_updN : forall (tbl : list inode) (i : nat) (ino : inode),
+  all_wf tbl -> inode_wf ino -> all_wf (updN tbl i ino).
+Proof.
+  induction tbl as [ | a t]. intros. simpl. constructor.
+  intros. destruct i.
+  simpl. constructor. assumption. inversion H. assumption.
+  simpl. inversion H. constructor. assumption. apply IHtbl. assumption. assumption.
+Qed.
+
+Lemma all_wf_app : forall (t1 t2 : list inode),
+  all_wf t1 -> all_wf t2 -> all_wf (t1 ++ t2).
+Proof.
+  intros. induction H. simpl. assumption.
+  simpl. constructor. assumption. assumption.
+Qed.
+
+Lemma igrow_twice_size : forall (ino : inode) (b1 b2 : nat),
+  isize (igrow (igrow ino b1) b2) = S (S (isize ino)).
+Proof. intros. destruct ino. reflexivity. Qed.
+
+Lemma all_wf_firstn : forall (tbl : list inode) (n : nat),
+  all_wf tbl -> all_wf (firstn n tbl).
+Proof.
+  induction tbl as [ | ino t]. intros. rewrite firstn_nil. constructor.
+  intros. destruct n. simpl. constructor.
+  simpl. inversion H. constructor. assumption. apply IHtbl. assumption.
+Qed.

@@ -1,0 +1,411 @@
+(* ListUtils: list utility functions and lemmas, mirroring FSCQ's
+   ListUtils.v. selN/updN are FSCQ's array-access primitives. *)
+
+Require Import Prelude.
+Require Import NatArith.
+
+Fixpoint app (A : Type) (l1 l2 : list A) : list A :=
+  match l1 with
+  | nil => l2
+  | cons x t => cons x (app t l2)
+  end.
+
+Fixpoint length (A : Type) (l : list A) : nat :=
+  match l with
+  | nil => O
+  | cons x t => S (length t)
+  end.
+
+Fixpoint rev (A : Type) (l : list A) : list A :=
+  match l with
+  | nil => nil
+  | cons x t => app (rev t) (cons x nil)
+  end.
+
+Fixpoint firstn (A : Type) (n : nat) (l : list A) : list A :=
+  match n with
+  | O => nil
+  | S p => match l with
+           | nil => nil
+           | cons x t => cons x (firstn p t)
+           end
+  end.
+
+Fixpoint skipn (A : Type) (n : nat) (l : list A) : list A :=
+  match n with
+  | O => l
+  | S p => match l with
+           | nil => nil
+           | cons x t => skipn p t
+           end
+  end.
+
+Fixpoint repeat (A : Type) (x : A) (n : nat) : list A :=
+  match n with
+  | O => nil
+  | S p => cons x (repeat x p)
+  end.
+
+Fixpoint selN (A : Type) (l : list A) (n : nat) (def : A) : A :=
+  match l with
+  | nil => def
+  | cons x t => match n with
+                | O => x
+                | S p => selN t p def
+                end
+  end.
+
+Fixpoint updN (A : Type) (l : list A) (n : nat) (v : A) : list A :=
+  match l with
+  | nil => nil
+  | cons x t => match n with
+                | O => cons v t
+                | S p => cons x (updN t p v)
+                end
+  end.
+
+Inductive In (A : Type) : A -> list A -> Prop :=
+| In_head : forall (x : A) (l : list A), In x (cons x l)
+| In_tail : forall (x y : A) (l : list A), In x l -> In x (cons y l).
+
+Inductive NoDup (A : Type) : list A -> Prop :=
+| NoDup_nil : NoDup nil
+| NoDup_cons : forall (x : A) (l : list A), ~ In x l -> NoDup l -> NoDup (cons x l).
+
+Definition incl (A : Type) (l1 l2 : list A) : Prop :=
+  forall (x : A), In x l1 -> In x l2.
+
+Hint Constructors In.
+Hint Constructors NoDup.
+
+Lemma app_nil_l : forall (A : Type) (l : list A), nil ++ l = l.
+Proof. intros. reflexivity. Qed.
+
+Lemma app_nil_r : forall (A : Type) (l : list A), l ++ nil = l.
+Proof. induction l. reflexivity. simpl. rewrite IHl. reflexivity. Qed.
+
+Lemma app_assoc : forall (A : Type) (l1 l2 l3 : list A),
+  (l1 ++ l2) ++ l3 = l1 ++ (l2 ++ l3).
+Proof. intros. induction l1. reflexivity. simpl. rewrite IHl1. reflexivity. Qed.
+
+Lemma app_length : forall (A : Type) (l1 l2 : list A),
+  length (l1 ++ l2) = length l1 + length l2.
+Proof. intros. induction l1. reflexivity. simpl. rewrite IHl1. reflexivity. Qed.
+
+Lemma app_cons_not_nil : forall (A : Type) (x : A) (l1 l2 : list A),
+  nil <> l1 ++ x :: l2.
+Proof. intros. intro. destruct l1; simpl in H; discriminate H. Qed.
+
+Lemma app_eq_nil : forall (A : Type) (l1 l2 : list A),
+  l1 ++ l2 = nil -> l1 = nil /\ l2 = nil.
+Proof.
+  intros. destruct l1.
+  simpl in H. split. reflexivity. assumption.
+  simpl in H. discriminate H.
+Qed.
+
+Lemma rev_app_distr : forall (A : Type) (l1 l2 : list A),
+  rev (l1 ++ l2) = rev l2 ++ rev l1.
+Proof.
+  intros. induction l1.
+  simpl. rewrite app_nil_r. reflexivity.
+  simpl. rewrite IHl1. rewrite app_assoc. reflexivity.
+Qed.
+
+Lemma rev_involutive : forall (A : Type) (l : list A), rev (rev l) = l.
+Proof.
+  induction l. reflexivity.
+  simpl. rewrite rev_app_distr. rewrite IHl. reflexivity.
+Qed.
+
+Lemma rev_length : forall (A : Type) (l : list A), length (rev l) = length l.
+Proof.
+  induction l. reflexivity.
+  simpl. rewrite app_length. rewrite IHl. simpl. rewrite plus_comm. reflexivity.
+Qed.
+
+Lemma in_eq : forall (A : Type) (x : A) (l : list A), In x (x :: l).
+Proof. intros. constructor. Qed.
+
+Lemma in_cons : forall (A : Type) (x y : A) (l : list A),
+  In x l -> In x (y :: l).
+Proof. intros. constructor. assumption. Qed.
+
+Lemma in_or_app : forall (A : Type) (x : A) (l1 l2 : list A),
+  In x l1 \/ In x l2 -> In x (l1 ++ l2).
+Proof.
+  induction l1.
+  intros. destruct H. inversion H. simpl. assumption.
+  intros. simpl. destruct H. inversion H. subst. constructor.
+  constructor. apply IHl1. left. assumption.
+  constructor. apply IHl1. right. assumption.
+Qed.
+
+Lemma in_app_or : forall (A : Type) (x : A) (l1 l2 : list A),
+  In x (l1 ++ l2) -> In x l1 \/ In x l2.
+Proof.
+  induction l1.
+  intros. simpl in H. right. assumption.
+  intros. simpl in H. inversion H. subst. left. constructor.
+  apply IHl1 in H0. destruct H0. left. constructor. assumption. right. assumption.
+Qed.
+
+Lemma incl_refl : forall (A : Type) (l : list A), incl l l.
+Proof. intros. unfold incl. intros. assumption. Qed.
+
+Lemma incl_nil : forall (A : Type) (l : list A), incl nil l.
+Proof. intros. unfold incl. intros. inversion H. Qed.
+
+Lemma incl_tl : forall (A : Type) (a : A) (l1 l2 : list A),
+  incl l1 l2 -> incl l1 (a :: l2).
+Proof.
+  intros. unfold incl in H. unfold incl. intros.
+  constructor. apply H. assumption.
+Qed.
+
+Lemma incl_cons : forall (A : Type) (a : A) (l1 l2 : list A),
+  In a l2 -> incl l1 l2 -> incl (a :: l1) l2.
+Proof.
+  intros. unfold incl in H0. unfold incl. intros.
+  inversion H1. subst. assumption. apply H0. assumption.
+Qed.
+
+Lemma incl_tl_inv : forall (A : Type) (l1 l2 : list A) (a : A),
+  incl l1 (a :: l2) -> ~ In a l1 -> incl l1 l2.
+Proof.
+  intros. unfold incl in H. unfold incl. intros.
+  assert (In x (a :: l2)) as H2. apply H. assumption.
+  inversion H2. subst. exfalso. apply H0. assumption. assumption.
+Qed.
+
+Lemma incl_appl : forall (A : Type) (l1 l2 : list A), incl l1 (l1 ++ l2).
+Proof.
+  intros. unfold incl. intros. apply in_or_app. left. assumption.
+Qed.
+
+Lemma incl_appr : forall (A : Type) (l1 l2 : list A), incl l2 (l1 ++ l2).
+Proof.
+  intros. unfold incl. intros. apply in_or_app. right. assumption.
+Qed.
+
+Lemma NoDup_In_head : forall (A : Type) (x : A) (l : list A),
+  NoDup (x :: l) -> ~ In x l.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma NoDup_cons_inv : forall (A : Type) (x : A) (l : list A),
+  NoDup (x :: l) -> NoDup l.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma NoDup_app_l : forall (A : Type) (l1 l2 : list A),
+  NoDup (l1 ++ l2) -> NoDup l1.
+Proof.
+  induction l1.
+  intros. constructor.
+  intros. simpl in H. inversion H. constructor.
+  intro. apply H0. apply in_or_app. left. assumption.
+  apply IHl1 with l2. assumption.
+Qed.
+
+Lemma length_zero_iff_nil : forall (A : Type) (l : list A),
+  length l = 0 -> l = nil.
+Proof.
+  intros. destruct l. reflexivity. simpl in H. discriminate H.
+Qed.
+
+Lemma cons_injective : forall (A : Type) (x y : A) (l1 l2 : list A),
+  x :: l1 = y :: l2 -> x = y /\ l1 = l2.
+Proof. intros. inversion H. split. assumption. assumption. Qed.
+
+Lemma firstn_nil : forall (A : Type) (n : nat), firstn n nil = nil.
+Proof. intros. destruct n; reflexivity. Qed.
+
+Lemma skipn_nil : forall (A : Type) (n : nat), skipn n nil = nil.
+Proof. intros. destruct n; reflexivity. Qed.
+
+Lemma firstn_O : forall (A : Type) (l : list A), firstn 0 l = nil.
+Proof. intros. reflexivity. Qed.
+
+Lemma skipn_O : forall (A : Type) (l : list A), skipn 0 l = l.
+Proof. intros. reflexivity. Qed.
+
+Lemma firstn_le_length : forall (A : Type) (n : nat) (l : list A),
+  length (firstn n l) <= n.
+Proof.
+  induction n. intros. simpl. constructor.
+  intros. destruct l. simpl. apply le_0_n.
+  simpl. apply le_n_S. apply IHn.
+Qed.
+
+Lemma firstn_skipn : forall (A : Type) (n : nat) (l : list A),
+  firstn n l ++ skipn n l = l.
+Proof.
+  induction n. intros. reflexivity.
+  intros. destruct l. reflexivity.
+  simpl. rewrite IHn. reflexivity.
+Qed.
+
+Lemma length_skipn : forall (A : Type) (n : nat) (l : list A),
+  length (skipn n l) = length l - n.
+Proof.
+  induction n. intros. simpl. rewrite minus_0_r. reflexivity.
+  intros. destruct l. reflexivity.
+  simpl. apply IHn.
+Qed.
+
+Lemma repeat_length : forall (A : Type) (x : A) (n : nat),
+  length (repeat x n) = n.
+Proof. intros. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma repeat_spec : forall (A : Type) (n : nat) (x y : A),
+  In y (repeat x n) -> y = x.
+Proof.
+  induction n. intros. inversion H.
+  intros. simpl in H. inversion H. subst. reflexivity.
+  apply IHn. assumption.
+Qed.
+
+Lemma length_updN : forall (A : Type) (l : list A) (n : nat) (v : A),
+  length (updN l n v) = length l.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct n. reflexivity.
+  simpl. rewrite IHl. reflexivity.
+Qed.
+
+Lemma selN_updN_eq : forall (A : Type) (l : list A) (n : nat) (v def : A),
+  n < length l -> selN (updN l n v) n def = v.
+Proof.
+  induction l. intros. simpl in H. omega.
+  intros. destruct n. reflexivity.
+  simpl. apply IHl. simpl in H. omega.
+Qed.
+
+Lemma selN_updN_ne : forall (A : Type) (l : list A) (n m : nat) (v def : A),
+  n <> m -> selN (updN l n v) m def = selN l m def.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct n. destruct m. congruence. reflexivity.
+  destruct m. reflexivity.
+  simpl. apply IHl. intro. apply H. rewrite H0. reflexivity.
+Qed.
+
+Hint Resolve in_eq in_cons incl_refl incl_nil.
+
+Lemma updN_twice : forall (A : Type) (l : list A) (n : nat) (v w : A),
+  updN (updN l n v) n w = updN l n w.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct n. reflexivity.
+  simpl. rewrite IHl. reflexivity.
+Qed.
+
+Lemma updN_comm : forall (A : Type) (l : list A) (n m : nat) (v w : A),
+  n <> m -> updN (updN l n v) m w = updN (updN l m w) n v.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct n. destruct m. congruence. reflexivity.
+  destruct m. reflexivity.
+  simpl. rewrite IHl. reflexivity. intro. apply H. rewrite H0. reflexivity.
+Qed.
+
+Lemma NoDup_app_r : forall (A : Type) (l1 l2 : list A),
+  NoDup (l1 ++ l2) -> NoDup l2.
+Proof.
+  induction l1. intros. simpl in H. assumption.
+  intros. apply IHl1. simpl in H. inversion H. assumption.
+Qed.
+
+Lemma incl_app : forall (A : Type) (l1 l2 l3 : list A),
+  incl l1 l3 -> incl l2 l3 -> incl (l1 ++ l2) l3.
+Proof.
+  intros. unfold incl in H. unfold incl in H0. unfold incl. intros.
+  apply in_app_or in H1. destruct H1. apply H. assumption. apply H0. assumption.
+Qed.
+
+Lemma firstn_app_exact : forall (A : Type) (l1 l2 : list A),
+  firstn (length l1) (l1 ++ l2) = l1.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. simpl. rewrite IHl1. reflexivity.
+Qed.
+
+Lemma skipn_app_exact : forall (A : Type) (l1 l2 : list A),
+  skipn (length l1) (l1 ++ l2) = l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. simpl. apply IHl1.
+Qed.
+
+Lemma selN_app1 : forall (A : Type) (l1 l2 : list A) (n : nat) (def : A),
+  n < length l1 -> selN (l1 ++ l2) n def = selN l1 n def.
+Proof.
+  induction l1. intros. simpl in H. exfalso. omega.
+  intros. destruct n. reflexivity.
+  simpl. apply IHl1. simpl in H. omega.
+Qed.
+
+Lemma selN_app2 : forall (A : Type) (l1 l2 : list A) (n : nat) (def : A),
+  length l1 <= n -> selN (l1 ++ l2) n def = selN l2 (n - length l1) def.
+Proof.
+  induction l1. intros. simpl. rewrite minus_0_r. reflexivity.
+  intros. destruct n. simpl in H. exfalso. omega.
+  simpl. apply IHl1. simpl in H. omega.
+Qed.
+
+Fixpoint count (x : nat) (l : list nat) : nat :=
+  match l with
+  | nil => O
+  | cons y t => match eqb x y with
+                | true => S (count x t)
+                | false => count x t
+                end
+  end.
+
+Lemma count_nil : forall (x : nat), count x nil = 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma count_app : forall (l1 l2 : list nat) (x : nat),
+  count x (l1 ++ l2) = count x l1 + count x l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. simpl. destruct (eqb x n) eqn:He.
+  rewrite IHl1. reflexivity.
+  apply IHl1.
+Qed.
+
+Lemma in_count_pos : forall (l : list nat) (x : nat),
+  In x l -> 1 <= count x l.
+Proof.
+  induction l. intros. inversion H.
+  intros. simpl. inversion H. subst. rewrite eqb_refl. simpl.
+  apply le_n_S. apply le_0_n.
+  destruct (eqb x n) eqn:He. apply le_n_S. apply le_0_n.
+  apply IHl. assumption.
+Qed.
+
+Lemma count_pos_in : forall (l : list nat) (x : nat),
+  1 <= count x l -> In x l.
+Proof.
+  induction l. intros. simpl in H. inversion H.
+  intros. simpl in H. destruct (eqb x n) eqn:He.
+  apply eqb_eq in He. subst. constructor.
+  rewrite He in H. simpl in H. constructor. apply IHl. assumption.
+Qed.
+
+Lemma not_in_count_0 : forall (l : list nat) (x : nat),
+  ~ In x l -> count x l = 0.
+Proof.
+  induction l. intros. reflexivity.
+  intros. simpl. destruct (eqb x n) eqn:He.
+  apply eqb_eq in He. subst. exfalso. apply H. constructor.
+  apply IHl. intro. apply H. constructor. assumption.
+Qed.
+
+Lemma nodup_count_le_1 : forall (l : list nat) (x : nat),
+  NoDup l -> count x l <= 1.
+Proof.
+  induction l. intros. simpl. apply le_0_n.
+  intros. simpl. inversion H. subst. destruct (eqb x n) eqn:He.
+  apply eqb_eq in He. subst. rewrite not_in_count_0. constructor. assumption.
+  apply IHl. assumption.
+Qed.

@@ -1,0 +1,163 @@
+(* Log: the write-ahead log layer. A log is a list of address/value
+   records; `replay` applies it to a disk. Zero-address records are
+   padding (as in DFSCQ's padded_log); `ndata_log` counts live records.
+   This file contains the paper's Case B lemma, ndata_log_padded_log. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Fixpoint replay (d : list nat) (log : list (prod nat nat)) : list nat :=
+  match log with
+  | nil => d
+  | cons e t => match e with
+                | pair a v => replay (updN d a v) t
+                end
+  end.
+
+Fixpoint map_fst (l : list (prod nat nat)) : list nat :=
+  match l with
+  | nil => nil
+  | cons e t => match e with
+                | pair a v => cons a (map_fst t)
+                end
+  end.
+
+Fixpoint nonzero_addrs (l : list nat) : nat :=
+  match l with
+  | nil => O
+  | cons a t => match a with
+                | O => nonzero_addrs t
+                | S p => S (nonzero_addrs t)
+                end
+  end.
+
+Definition ndata_log (l : list (prod nat nat)) : nat := nonzero_addrs (map_fst l).
+
+Fixpoint padding (n : nat) : list (prod nat nat) :=
+  match n with
+  | O => nil
+  | S p => cons (pair O O) (padding p)
+  end.
+
+Definition padded_log (l : list (prod nat nat)) (n : nat) : list (prod nat nat) :=
+  l ++ padding n.
+
+Inductive log_valid : nat -> list (prod nat nat) -> Prop :=
+| log_valid_nil : forall (bound : nat), log_valid bound nil
+| log_valid_cons : forall (bound a v : nat) (t : list (prod nat nat)),
+    a < bound -> log_valid bound t -> log_valid bound (pair a v :: t).
+
+Hint Constructors log_valid.
+
+Lemma replay_nil : forall (d : list nat), replay d nil = d.
+Proof. intros. reflexivity. Qed.
+
+Lemma replay_app : forall (l1 l2 : list (prod nat nat)) (d : list nat),
+  replay d (l1 ++ l2) = replay (replay d l1) l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. destruct p. simpl. apply IHl1.
+Qed.
+
+Lemma replay_length : forall (l : list (prod nat nat)) (d : list nat),
+  length (replay d l) = length d.
+Proof.
+  induction l. intros. reflexivity.
+  intros. destruct p. simpl. rewrite IHl. apply length_updN.
+Qed.
+
+Lemma replay_comm_single : forall (a v b w : nat) (d : list nat),
+  a <> b ->
+  replay d (pair a v :: pair b w :: nil) = replay d (pair b w :: pair a v :: nil).
+Proof.
+  intros. simpl. rewrite updN_comm. reflexivity. assumption.
+Qed.
+
+Lemma map_fst_app : forall (l1 l2 : list (prod nat nat)),
+  map_fst (l1 ++ l2) = map_fst l1 ++ map_fst l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. destruct p. simpl. rewrite IHl1. reflexivity.
+Qed.
+
+Lemma map_fst_length : forall (l : list (prod nat nat)),
+  length (map_fst l) = length l.
+Proof.
+  induction l. reflexivity.
+  destruct p. simpl. rewrite IHl. reflexivity.
+Qed.
+
+Lemma map_fst_padding : forall (n : nat), map_fst (padding n) = repeat 0 n.
+Proof. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma nonzero_addrs_app : forall (l1 l2 : list nat),
+  nonzero_addrs (l1 ++ l2) = nonzero_addrs l1 + nonzero_addrs l2.
+Proof.
+  induction l1. intros. reflexivity.
+  intros. destruct n. simpl. apply IHl1.
+  simpl. rewrite IHl1. reflexivity.
+Qed.
+
+Lemma nonzero_addrs_repeat_O : forall (n : nat), nonzero_addrs (repeat 0 n) = 0.
+Proof. induction n. reflexivity. simpl. assumption. Qed.
+
+Lemma ndata_log_padded_log : forall (l : list (prod nat nat)) (n : nat),
+  ndata_log (padded_log l n) = ndata_log l.
+Proof.
+  intros. unfold ndata_log. unfold padded_log.
+  rewrite map_fst_app. rewrite nonzero_addrs_app.
+  rewrite map_fst_padding. rewrite nonzero_addrs_repeat_O.
+  apply plus_n_O.
+Qed.
+
+Lemma ndata_log_app : forall (l1 l2 : list (prod nat nat)),
+  ndata_log (l1 ++ l2) = ndata_log l1 + ndata_log l2.
+Proof.
+  intros. unfold ndata_log. rewrite map_fst_app. apply nonzero_addrs_app.
+Qed.
+
+Lemma nonzero_addrs_bound : forall (l : list nat),
+  nonzero_addrs l <= length l.
+Proof.
+  induction l. simpl. constructor.
+  destruct n. simpl. constructor. assumption.
+  simpl. apply le_n_S. assumption.
+Qed.
+
+Lemma ndata_log_bound : forall (l : list (prod nat nat)),
+  ndata_log l <= length l.
+Proof.
+  intros. unfold ndata_log. rewrite <- map_fst_length. apply nonzero_addrs_bound.
+Qed.
+
+Lemma log_valid_app : forall (bound : nat) (l1 l2 : list (prod nat nat)),
+  log_valid bound l1 -> log_valid bound l2 -> log_valid bound (l1 ++ l2).
+Proof.
+  intros. induction H. simpl. assumption.
+  simpl. constructor. assumption. assumption.
+Qed.
+
+Lemma log_valid_app_inv_l : forall (bound : nat) (l1 l2 : list (prod nat nat)),
+  log_valid bound (l1 ++ l2) -> log_valid bound l1.
+Proof.
+  induction l1. intros. constructor.
+  intros. destruct p. simpl in H. inversion H. subst. constructor.
+  assumption. apply IHl1 with l2. assumption.
+Qed.
+
+Lemma log_valid_app_inv_r : forall (bound : nat) (l1 l2 : list (prod nat nat)),
+  log_valid bound (l1 ++ l2) -> log_valid bound l2.
+Proof.
+  induction l1. intros. simpl in H. assumption.
+  intros. apply IHl1. simpl in H. inversion H. assumption.
+Qed.
+
+Lemma padding_length : forall (n : nat), length (padding n) = n.
+Proof. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma padded_log_length : forall (l : list (prod nat nat)) (n : nat),
+  length (padded_log l n) = length l + n.
+Proof.
+  intros. unfold padded_log. rewrite app_length. rewrite padding_length. reflexivity.
+Qed.

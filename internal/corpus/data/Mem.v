@@ -1,0 +1,148 @@
+(* Mem: memories as address/value association lists, with lookup,
+   interleaving-based splitting (the heap-disjointness substrate of
+   FSCQ's separation logic), and address-set reasoning. *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+
+Fixpoint find (a : nat) (m : list (prod nat nat)) : option nat :=
+  match m with
+  | nil => None
+  | cons p t => match p with
+                | pair x v => match eqb a x with
+                              | true => Some v
+                              | false => find a t
+                              end
+                end
+  end.
+
+Fixpoint addrs (m : list (prod nat nat)) : list nat :=
+  match m with
+  | nil => nil
+  | cons p t => match p with
+                | pair x v => cons x (addrs t)
+                end
+  end.
+
+Inductive split : list (prod nat nat) -> list (prod nat nat) -> list (prod nat nat) -> Prop :=
+| split_nil : split nil nil nil
+| split_left : forall (p : prod nat nat) (m m1 m2 : list (prod nat nat)),
+    split m m1 m2 -> split (cons p m) (cons p m1) m2
+| split_right : forall (p : prod nat nat) (m m1 m2 : list (prod nat nat)),
+    split m m1 m2 -> split (cons p m) m1 (cons p m2).
+
+Hint Constructors split.
+
+Definition disjoint (m1 m2 : list (prod nat nat)) : Prop :=
+  forall (a : nat), In a (addrs m1) -> In a (addrs m2) -> False.
+
+Lemma find_nil : forall (a : nat), find a nil = None.
+Proof. intros. reflexivity. Qed.
+
+Lemma find_head_eq : forall (m : list (prod nat nat)) (a v : nat),
+  find a (pair a v :: m) = Some v.
+Proof. intros. simpl. rewrite eqb_refl. reflexivity. Qed.
+
+Lemma find_head_ne : forall (m : list (prod nat nat)) (a b v : nat),
+  a <> b -> find a (pair b v :: m) = find a m.
+Proof. intros. simpl. rewrite neq_eqb_false. reflexivity. assumption. Qed.
+
+Lemma split_nil_l : forall (m : list (prod nat nat)), split m nil m.
+Proof. induction m; auto. Qed.
+
+Lemma split_nil_r : forall (m : list (prod nat nat)), split m m nil.
+Proof. induction m; auto. Qed.
+
+Lemma split_comm : forall (m m1 m2 : list (prod nat nat)),
+  split m m1 m2 -> split m m2 m1.
+Proof. intros. induction H; auto. Qed.
+
+Lemma split_length : forall (m m1 m2 : list (prod nat nat)),
+  split m m1 m2 -> length m = length m1 + length m2.
+Proof.
+  intros. induction H. reflexivity.
+  simpl. rewrite IHsplit. reflexivity.
+  simpl. rewrite IHsplit. apply plus_n_Sm.
+Qed.
+
+Lemma split_nil_inv : forall (m1 m2 : list (prod nat nat)),
+  split nil m1 m2 -> m1 = nil /\ m2 = nil.
+Proof. intros. inversion H. subst. split; reflexivity. Qed.
+
+Lemma in_addrs_split_l : forall (m m1 m2 : list (prod nat nat)) (a : nat),
+  split m m1 m2 -> In a (addrs m1) -> In a (addrs m).
+Proof.
+  intros. revert a H0. induction H.
+  intros. assumption.
+  intros. destruct p. simpl in H0. simpl. inversion H0. subst. constructor.
+  constructor. apply IHsplit. assumption.
+  intros. destruct p. simpl. constructor. apply IHsplit. assumption.
+Qed.
+
+Lemma in_addrs_split_r : forall (m m1 m2 : list (prod nat nat)) (a : nat),
+  split m m1 m2 -> In a (addrs m2) -> In a (addrs m).
+Proof.
+  intros. apply split_comm in H. eapply in_addrs_split_l. apply H. assumption.
+Qed.
+
+Lemma disjoint_comm : forall (m1 m2 : list (prod nat nat)),
+  disjoint m1 m2 -> disjoint m2 m1.
+Proof.
+  intros. unfold disjoint in H. unfold disjoint. intros.
+  apply H with a. assumption. assumption.
+Qed.
+
+Lemma disjoint_nil_l : forall (m : list (prod nat nat)), disjoint nil m.
+Proof. intros. unfold disjoint. intros. inversion H. Qed.
+
+Lemma find_some_in_addrs : forall (m : list (prod nat nat)) (a v : nat),
+  find a m = Some v -> In a (addrs m).
+Proof.
+  induction m. intros. simpl in H. discriminate H.
+  intros. destruct p. simpl in H. simpl. destruct (eqb a n) eqn:He.
+  apply eqb_eq in He. subst. constructor.
+  rewrite He in H. simpl in H. constructor. apply IHm with v. assumption.
+Qed.
+
+Lemma not_in_addrs_find_none : forall (m : list (prod nat nat)) (a : nat),
+  ~ In a (addrs m) -> find a m = None.
+Proof.
+  induction m. intros. reflexivity.
+  intros. destruct p. simpl. destruct (eqb a n) eqn:He.
+  apply eqb_eq in He. subst. exfalso. apply H. simpl. constructor.
+  simpl. apply IHm. intro. apply H. simpl. constructor. assumption.
+Qed.
+
+Lemma split_assoc : forall (m m12 m3 m1 m2 : list (prod nat nat)),
+  split m m12 m3 -> split m12 m1 m2 ->
+  exists (m23 : list (prod nat nat)), split m m1 m23 /\ split m23 m2 m3.
+Proof.
+  intros. revert m1 m2 H0. induction H.
+  intros. inversion H. subst. exists nil. split. constructor. constructor.
+  intros. inversion H0. subst. apply IHsplit in H1. destruct H1 as [m23 [H3 H4]].
+  exists m23. split. constructor. assumption. assumption.
+  subst. apply IHsplit in H1. destruct H1 as [m23 [H3 H4]].
+  exists (cons p m23). split. apply split_right. assumption. apply split_left. assumption.
+  intros. apply IHsplit in H0. destruct H0 as [m23 [H3 H4]].
+  exists (cons p m23). split. apply split_right. assumption. apply split_right. assumption.
+Qed.
+
+Lemma split_nil_l_inv : forall (m m2 : list (prod nat nat)),
+  split m nil m2 -> m = m2.
+Proof. intros. induction H. reflexivity. rewrite IHsplit. reflexivity. Qed.
+
+Lemma split_nil_r_inv : forall (m m1 : list (prod nat nat)),
+  split m m1 nil -> m = m1.
+Proof. intros. induction H. reflexivity. rewrite IHsplit. reflexivity. Qed.
+
+Lemma split_assoc_r : forall (m m1 m23 m2 m3 : list (prod nat nat)),
+  split m m1 m23 -> split m23 m2 m3 ->
+  exists (m12 : list (prod nat nat)), split m m12 m3 /\ split m12 m1 m2.
+Proof.
+  intros. apply split_comm in H. apply split_comm in H0.
+  assert (exists (x : list (prod nat nat)), split m m3 x /\ split x m2 m1) as HX.
+  eapply split_assoc. apply H. assumption.
+  destruct HX as [x [HA HB]].
+  exists x. split. apply split_comm. assumption. apply split_comm. assumption.
+Qed.

@@ -1,0 +1,188 @@
+(* NatArith: arithmetic utility lemmas (the Coq Arith fragment FSCQ uses). *)
+
+Require Import Prelude.
+
+Lemma plus_O_n : forall (n : nat), 0 + n = n.
+Proof. intros. reflexivity. Qed.
+
+Lemma plus_n_O : forall (n : nat), n + 0 = n.
+Proof. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma plus_n_Sm : forall (n m : nat), S (n + m) = n + S m.
+Proof. induction n. intros. reflexivity. intros. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma plus_comm : forall (n m : nat), n + m = m + n.
+Proof.
+  intros. induction n.
+  simpl. rewrite plus_n_O. reflexivity.
+  simpl. rewrite IHn. rewrite plus_n_Sm. reflexivity.
+Qed.
+
+Lemma plus_assoc : forall (n m p : nat), (n + m) + p = n + (m + p).
+Proof. intros. induction n. reflexivity. simpl. rewrite IHn. reflexivity. Qed.
+
+Lemma mult_0_r : forall (n : nat), n * 0 = 0.
+Proof. induction n. reflexivity. simpl. assumption. Qed.
+
+Lemma mult_n_Sm : forall (n m : nat), n * S m = n * m + n.
+Proof.
+  intros. induction n.
+  reflexivity.
+  simpl. rewrite IHn. rewrite plus_assoc. rewrite plus_n_Sm. rewrite plus_n_Sm. reflexivity.
+Qed.
+
+Lemma mult_comm : forall (n m : nat), n * m = m * n.
+Proof.
+  intros. induction n.
+  simpl. rewrite mult_0_r. reflexivity.
+  simpl. rewrite IHn. rewrite mult_n_Sm. rewrite plus_comm. reflexivity.
+Qed.
+
+Lemma mult_plus_distr_r : forall (n m p : nat), (n + m) * p = n * p + m * p.
+Proof.
+  intros. induction n.
+  reflexivity.
+  simpl. rewrite IHn. rewrite plus_assoc. reflexivity.
+Qed.
+
+Lemma le_0_n : forall (n : nat), 0 <= n.
+Proof. induction n; auto. Qed.
+
+Lemma le_n_S : forall (n m : nat), n <= m -> S n <= S m.
+Proof. intros. induction H; auto. Qed.
+
+Lemma le_S_n : forall (n m : nat), S n <= S m -> n <= m.
+Proof. intros. omega. Qed.
+
+Lemma le_trans : forall (n m p : nat), n <= m -> m <= p -> n <= p.
+Proof. intros. induction H0. assumption. constructor. assumption. Qed.
+
+Lemma le_antisym : forall (n m : nat), n <= m -> m <= n -> n = m.
+Proof. intros. omega. Qed.
+
+Lemma le_plus_l : forall (n m : nat), n <= n + m.
+Proof. intros. omega. Qed.
+
+Lemma le_plus_r : forall (n m : nat), m <= n + m.
+Proof. intros. omega. Qed.
+
+Lemma lt_le_incl : forall (n m : nat), n < m -> n <= m.
+Proof. intros. omega. Qed.
+
+Lemma lt_irrefl : forall (n : nat), ~ n < n.
+Proof. intros. intro. omega. Qed.
+
+Lemma lt_le_trans : forall (n m p : nat), n < m -> m <= p -> n < p.
+Proof. intros. unfold lt. unfold lt in H. apply le_trans with m; assumption. Qed.
+
+Lemma le_lt_trans : forall (n m p : nat), n <= m -> m < p -> n < p.
+Proof. intros. omega. Qed.
+
+Lemma plus_le_compat : forall (n m p q : nat), n <= m -> p <= q -> n + p <= m + q.
+Proof. intros. omega. Qed.
+
+Lemma minus_diag : forall (n : nat), n - n = 0.
+Proof. induction n. reflexivity. simpl. assumption. Qed.
+
+Lemma minus_0_r : forall (n : nat), n - 0 = n.
+Proof. intros. destruct n; reflexivity. Qed.
+
+Lemma minus_plus : forall (n m : nat), (n + m) - n = m.
+Proof.
+  induction n.
+  intros. simpl. rewrite minus_0_r. reflexivity.
+  intros. simpl. apply IHn.
+Qed.
+
+Lemma eqb_refl : forall (n : nat), eqb n n = true.
+Proof. induction n. reflexivity. simpl. assumption. Qed.
+
+Lemma eqb_eq : forall (n m : nat), eqb n m = true -> n = m.
+Proof.
+  induction n.
+  destruct m. intros. reflexivity. intros. simpl in H. discriminate H.
+  destruct m. intros. simpl in H. discriminate H.
+  intros. simpl in H. apply IHn in H. rewrite H. reflexivity.
+Qed.
+
+Lemma eqb_neq : forall (n m : nat), eqb n m = false -> n <> m.
+Proof.
+  intros. intro. rewrite H0 in H. rewrite eqb_refl in H. discriminate H.
+Qed.
+
+Lemma leb_le : forall (n m : nat), leb n m = true -> n <= m.
+Proof.
+  induction n.
+  intros. apply le_0_n.
+  destruct m. intros. simpl in H. discriminate H.
+  intros. simpl in H. apply IHn in H. apply le_n_S. assumption.
+Qed.
+
+Lemma le_leb : forall (n m : nat), n <= m -> leb n m = true.
+Proof.
+  induction n.
+  intros. reflexivity.
+  destruct m. intros. omega.
+  intros. simpl. apply IHn. omega.
+Qed.
+
+Lemma neq_eqb_false : forall (n m : nat), n <> m -> eqb n m = false.
+Proof.
+  induction n. destruct m. intros. exfalso. apply H. reflexivity. intros. reflexivity.
+  destruct m. intros. reflexivity.
+  intros. simpl. apply IHn. intro. apply H. rewrite H0. reflexivity.
+Qed.
+
+Lemma eqb_false_cases : forall (n m : nat), eqb n m = true \/ eqb n m = false.
+Proof.
+  induction n. destruct m. left. reflexivity. right. reflexivity.
+  destruct m. right. reflexivity. intros. simpl. apply IHn.
+Qed.
+
+Lemma eqb_sym : forall (n m : nat), eqb n m = eqb m n.
+Proof.
+  induction n. destruct m. reflexivity. reflexivity.
+  destruct m. reflexivity. simpl. apply IHn.
+Qed.
+
+Fixpoint max (n m : nat) : nat :=
+  match n with
+  | O => m
+  | S p => match m with
+           | O => n
+           | S q => S (max p q)
+           end
+  end.
+
+Fixpoint min (n m : nat) : nat :=
+  match n with
+  | O => O
+  | S p => match m with
+           | O => O
+           | S q => S (min p q)
+           end
+  end.
+
+Lemma max_comm : forall (n m : nat), max n m = max m n.
+Proof.
+  induction n. destruct m. reflexivity. reflexivity.
+  destruct m. reflexivity. simpl. rewrite IHn. reflexivity.
+Qed.
+
+Lemma max_le_l : forall (n m : nat), n <= max n m.
+Proof.
+  induction n. intros. apply le_0_n.
+  destruct m. simpl. constructor. simpl. apply le_n_S. apply IHn.
+Qed.
+
+Lemma min_le_l : forall (n m : nat), min n m <= n.
+Proof.
+  induction n. intros. simpl. constructor.
+  destruct m. simpl. apply le_0_n. simpl. apply le_n_S. apply IHn.
+Qed.
+
+Lemma min_comm : forall (n m : nat), min n m = min m n.
+Proof.
+  induction n. destruct m. reflexivity. reflexivity.
+  destruct m. reflexivity. simpl. rewrite IHn. reflexivity.
+Qed.

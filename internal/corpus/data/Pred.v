@@ -1,0 +1,140 @@
+(* Pred: a deep embedding of separation-logic assertions and their
+   satisfaction relation over association-list memories, mirroring the
+   predicate algebra of FSCQ's Pred.v (emp, ptsto, star, or, pimpl). *)
+
+Require Import Prelude.
+Require Import NatArith.
+Require Import ListUtils.
+Require Import Mem.
+
+Inductive pred : Type :=
+| Emp : pred
+| Ptsto : nat -> nat -> pred
+| Star : pred -> pred -> pred
+| POr : pred -> pred -> pred.
+
+Inductive sat : list (prod nat nat) -> pred -> Prop :=
+| sat_emp : sat nil Emp
+| sat_ptsto : forall (a v : nat), sat (cons (pair a v) nil) (Ptsto a v)
+| sat_star : forall (m m1 m2 : list (prod nat nat)) (p q : pred),
+    split m m1 m2 -> sat m1 p -> sat m2 q -> sat m (Star p q)
+| sat_or_l : forall (m : list (prod nat nat)) (p q : pred), sat m p -> sat m (POr p q)
+| sat_or_r : forall (m : list (prod nat nat)) (p q : pred), sat m q -> sat m (POr p q).
+
+Hint Constructors sat.
+
+Definition pimpl (p q : pred) : Prop :=
+  forall (m : list (prod nat nat)), sat m p -> sat m q.
+
+Lemma pimpl_refl : forall (p : pred), pimpl p p.
+Proof. intros. unfold pimpl. intros. assumption. Qed.
+
+Lemma pimpl_trans : forall (p q r : pred),
+  pimpl p q -> pimpl q r -> pimpl p r.
+Proof.
+  intros. unfold pimpl in H. unfold pimpl in H0. unfold pimpl. intros.
+  apply H0. apply H. assumption.
+Qed.
+
+Lemma sat_emp_inv : forall (m : list (prod nat nat)), sat m Emp -> m = nil.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma sat_ptsto_inv : forall (m : list (prod nat nat)) (a v : nat),
+  sat m (Ptsto a v) -> m = pair a v :: nil.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma emp_star_l : forall (p : pred), pimpl (Star Emp p) p.
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst.
+  inversion H1. subst. apply split_nil_l_inv in H0. subst. assumption.
+Qed.
+
+Lemma emp_star_r : forall (p : pred), pimpl (Star p Emp) p.
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst.
+  inversion H2. subst. apply split_nil_r_inv in H0. subst. assumption.
+Qed.
+
+Lemma star_emp_intro_r : forall (p : pred), pimpl p (Star p Emp).
+Proof.
+  intros. unfold pimpl. intros. apply sat_star with m nil.
+  apply split_nil_r. assumption. constructor.
+Qed.
+
+Lemma star_emp_intro_l : forall (p : pred), pimpl p (Star Emp p).
+Proof.
+  intros. unfold pimpl. intros. apply sat_star with nil m.
+  apply split_nil_l. constructor. assumption.
+Qed.
+
+Lemma star_comm : forall (p q : pred), pimpl (Star p q) (Star q p).
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst.
+  apply sat_star with m2 m1. apply split_comm. assumption. assumption. assumption.
+Qed.
+
+Lemma star_assoc : forall (p q r : pred),
+  pimpl (Star (Star p q) r) (Star p (Star q r)).
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst. inversion H1. subst.
+  assert (exists (m23 : list (prod nat nat)), split m m3 m23 /\ split m23 m4 m2) as HX.
+  eapply split_assoc. apply H0. assumption.
+  destruct HX as [m23 [HA HB]].
+  apply sat_star with m3 m23. assumption. assumption.
+  apply sat_star with m4 m2. assumption. assumption. assumption.
+Qed.
+
+Lemma star_mono : forall (p p2 q q2 : pred),
+  pimpl p p2 -> pimpl q q2 -> pimpl (Star p q) (Star p2 q2).
+Proof.
+  intros. unfold pimpl in H. unfold pimpl in H0. unfold pimpl. intros.
+  inversion H1. subst. apply sat_star with m1 m2.
+  assumption. apply H. assumption. apply H0. assumption.
+Qed.
+
+Lemma pimpl_or_elim : forall (p q r : pred),
+  pimpl p r -> pimpl q r -> pimpl (POr p q) r.
+Proof.
+  intros. unfold pimpl in H. unfold pimpl in H0. unfold pimpl. intros.
+  inversion H1. subst. apply H. assumption. subst. apply H0. assumption.
+Qed.
+
+Lemma pimpl_or_intro_l : forall (p q : pred), pimpl p (POr p q).
+Proof. intros. unfold pimpl. intros. apply sat_or_l. assumption. Qed.
+
+Lemma pimpl_or_intro_r : forall (p q : pred), pimpl q (POr p q).
+Proof. intros. unfold pimpl. intros. apply sat_or_r. assumption. Qed.
+
+Lemma star_or_distr : forall (p q r : pred),
+  pimpl (Star (POr p q) r) (POr (Star p r) (Star q r)).
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst. inversion H1. subst.
+  apply sat_or_l. apply sat_star with m1 m2. assumption. assumption. assumption.
+  subst. apply sat_or_r. apply sat_star with m1 m2. assumption. assumption. assumption.
+Qed.
+
+Lemma sat_star_ptsto_addr : forall (m : list (prod nat nat)) (a v : nat) (q : pred),
+  sat m (Star (Ptsto a v) q) -> In a (addrs m).
+Proof.
+  intros. inversion H. subst. inversion H1. subst.
+  eapply in_addrs_split_l. apply H0. simpl. constructor.
+Qed.
+
+Lemma sat_length_star : forall (m : list (prod nat nat)) (p q : pred),
+  sat m (Star p q) -> exists (m1 m2 : list (prod nat nat)),
+  length m = length m1 + length m2.
+Proof.
+  intros. inversion H. subst. exists m1. exists m2.
+  apply split_length. assumption.
+Qed.
+
+Lemma star_assoc_r : forall (p q r : pred),
+  pimpl (Star p (Star q r)) (Star (Star p q) r).
+Proof.
+  intros. unfold pimpl. intros. inversion H. subst. inversion H2. subst.
+  assert (exists (m12 : list (prod nat nat)), split m m12 m4 /\ split m12 m1 m3) as HX.
+  eapply split_assoc_r. apply H0. assumption.
+  destruct HX as [m12 [HA HB]].
+  apply sat_star with m12 m4. assumption.
+  apply sat_star with m1 m3. assumption. assumption. assumption. assumption.
+Qed.

@@ -1,0 +1,89 @@
+(* Prelude: core datatypes and arithmetic functions.
+   This file mirrors the Coq standard-library fragments FSCQ builds on. *)
+
+Inductive bool : Type :=
+| true : bool
+| false : bool.
+
+Inductive nat : Type :=
+| O : nat
+| S : nat -> nat.
+
+Inductive list (A : Type) : Type :=
+| nil : list A
+| cons : A -> list A -> list A.
+
+Inductive option (A : Type) : Type :=
+| None : option A
+| Some : A -> option A.
+
+Inductive prod (A : Type) (B : Type) : Type :=
+| pair : A -> B -> prod A B.
+
+Fixpoint plus (n m : nat) : nat :=
+  match n with
+  | O => m
+  | S p => S (plus p m)
+  end.
+
+Fixpoint mult (n m : nat) : nat :=
+  match n with
+  | O => O
+  | S p => plus m (mult p m)
+  end.
+
+Fixpoint minus (n m : nat) : nat :=
+  match n with
+  | O => O
+  | S p => match m with
+           | O => n
+           | S q => minus p q
+           end
+  end.
+
+Fixpoint eqb (n m : nat) : bool :=
+  match n with
+  | O => match m with
+         | O => true
+         | S q => false
+         end
+  | S p => match m with
+           | O => false
+           | S q => eqb p q
+           end
+  end.
+
+Fixpoint leb (n m : nat) : bool :=
+  match n with
+  | O => true
+  | S p => match m with
+           | O => false
+           | S q => leb p q
+           end
+  end.
+
+Fixpoint andb (a b : bool) : bool :=
+  match a with
+  | true => b
+  | false => false
+  end.
+
+Fixpoint orb (a b : bool) : bool :=
+  match a with
+  | true => true
+  | false => b
+  end.
+
+Fixpoint negb (a : bool) : bool :=
+  match a with
+  | true => false
+  | false => true
+  end.
+
+Inductive le : nat -> nat -> Prop :=
+| le_n : forall (n : nat), le n n
+| le_S : forall (n m : nat), le n m -> le n (S m).
+
+Definition lt (n m : nat) : Prop := le (S n) m.
+
+Hint Constructors le.

@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"llmfscq/internal/tokenizer"
+)
+
+// TestCorpusShape checks the statistical properties the evaluation relies
+// on: all three paper categories populated, a length distribution skewed
+// toward short proofs, and the paper's three case-study lemmas present.
+func TestCorpusShape(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCat := map[Category]int{}
+	under64, total := 0, 0
+	for _, th := range c.Theorems {
+		byCat[th.Category]++
+		total++
+		if tokenizer.Count(th.Proof) < 64 {
+			under64++
+		}
+	}
+	for _, cat := range []Category{Utilities, CHL, FileSystem} {
+		if byCat[cat] < 10 {
+			t.Errorf("category %s underpopulated: %d theorems", cat, byCat[cat])
+		}
+	}
+	if total < 200 {
+		t.Errorf("corpus too small: %d theorems", total)
+	}
+	frac := float64(under64) / float64(total)
+	if frac < 0.5 {
+		t.Errorf("short-proof fraction %0.2f; the paper's corpus is ~0.6", frac)
+	}
+}
+
+// TestPaperCaseLemmasPresent ensures the paper's Figure 2 case lemmas are
+// part of the corpus, in their paper categories.
+func TestPaperCaseLemmasPresent(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Category{
+		"incl_tl_inv":             Utilities,  // paper Case A
+		"ndata_log_padded_log":    FileSystem, // paper Case B
+		"tree_name_distinct_head": FileSystem, // paper Case C
+	}
+	for name, cat := range cases {
+		th, ok := c.TheoremNamed(name)
+		if !ok {
+			t.Errorf("case lemma %s missing", name)
+			continue
+		}
+		if th.Category != cat {
+			t.Errorf("%s in category %s, want %s", name, th.Category, cat)
+		}
+	}
+}
+
+// TestLemmaSourcesVerbatim checks that each lemma item's source span starts
+// with a Lemma keyword and contains its proof (prompts quote these spans).
+func TestLemmaSourcesVerbatim(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range c.Files {
+		for _, it := range c.Items[file] {
+			if it.Kind != ItemLemma {
+				continue
+			}
+			if !strings.HasPrefix(it.Src, "Lemma ") && !strings.HasPrefix(it.Src, "Theorem ") {
+				t.Errorf("%s: lemma source does not start with a keyword: %.40q", it.Name, it.Src)
+			}
+			if !strings.Contains(it.Src, "Proof.") || !strings.Contains(it.Src, "Qed.") {
+				t.Errorf("%s: lemma source missing proof delimiters", it.Name)
+			}
+			if strings.Contains(it.StmtSrc, "Proof.") {
+				t.Errorf("%s: statement-only source leaks the proof", it.Name)
+			}
+		}
+	}
+}
+
+// TestImportsAcyclicAndResolved checks the file dependency structure.
+func TestImportsAcyclicAndResolved(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, f := range c.Files {
+		pos[f] = i
+	}
+	for f, imps := range c.Imports {
+		for _, imp := range imps {
+			if pos[imp] >= pos[f] {
+				t.Errorf("file %s imports %s which is not earlier in load order", f, imp)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package eval reproduces the paper's evaluation (§4): it runs the
+// best-first search with each simulated model over the corpus, in both
+// prompt settings, and renders Figure 1a/1b, Table 1, Table 2, the Figure 2
+// case studies, the §4.3 reduced-context probe, and the ablations.
+package eval
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmfscq/internal/core"
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/model"
+	"llmfscq/internal/prompt"
+	"llmfscq/internal/tactic"
+	"llmfscq/internal/textmetrics"
+	"llmfscq/internal/tokenizer"
+)
+
+// Outcome is the result of one (theorem, model, setting) search.
+type Outcome struct {
+	Theorem  string
+	File     string
+	Category corpus.Category
+	Model    string
+	Setting  string
+	Status   core.Status
+	Proof    string
+	Queries  int
+
+	HumanTokens int
+	GenTokens   int
+	Similarity  float64
+	RelLength   float64
+}
+
+// Runner drives experiment sweeps.
+type Runner struct {
+	Corpus *corpus.Corpus
+	// HintSet is the fixed random half of theorems whose proofs feed hinted
+	// prompts; those theorems are excluded from evaluation.
+	HintSet map[string]bool
+	// Width and QueryLimit are the search hyperparameters (paper: 8, 128).
+	Width      int
+	QueryLimit int
+	// Seed makes the whole sweep reproducible.
+	Seed int64
+	// Parallelism bounds concurrent searches (0 = serial).
+	Parallelism int
+	// Search selects the algorithm (default core.BestFirst).
+	Search func(core.Config) core.Result
+
+	// envCache maps theorem name -> *kernel.Env; a pointer so Runner
+	// values can be copied for ablation variants (the cache is shared).
+	envCache *sync.Map
+}
+
+// NewRunner builds a runner with the paper's hyperparameters and the fixed
+// 50% hint split.
+func NewRunner(c *corpus.Corpus, seed int64) *Runner {
+	return &Runner{
+		Corpus:     c,
+		HintSet:    prompt.HintSplit(c, 0.5, seed),
+		Width:      8,
+		QueryLimit: 128,
+		Seed:       seed,
+		envCache:   &sync.Map{},
+	}
+}
+
+// TestSet returns the theorems not used as hints, in corpus order.
+func (r *Runner) TestSet() []*corpus.Theorem {
+	var out []*corpus.Theorem
+	for _, th := range r.Corpus.Theorems {
+		if !r.HintSet[th.Name] {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// Subsample deterministically samples frac of the theorems (the paper
+// evaluates large models on 10% of the non-hint set for budget reasons).
+func (r *Runner) Subsample(ths []*corpus.Theorem, frac float64) []*corpus.Theorem {
+	names := make([]*corpus.Theorem, len(ths))
+	copy(names, ths)
+	rng := rand.New(rand.NewSource(r.Seed + 17))
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	k := int(float64(len(names)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	sel := names[:k]
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Name < sel[j].Name })
+	return sel
+}
+
+// restrictEnv returns the environment as it stood just before the theorem
+// was declared: the prover may not use the theorem itself or anything
+// declared after it.
+func (r *Runner) restrictEnv(th *corpus.Theorem) *kernel.Env {
+	if cached, ok := r.envCache.Load(th.Name); ok {
+		return cached.(*kernel.Env)
+	}
+	full := r.Corpus.Env
+	env := full.Clone()
+	// Find the cut point in declaration order.
+	cut := -1
+	for i, name := range full.LemmaOrder {
+		if name == th.Name {
+			cut = i
+			break
+		}
+	}
+	if cut >= 0 {
+		removed := map[string]bool{}
+		for _, name := range full.LemmaOrder[cut:] {
+			removed[name] = true
+			delete(env.Lemmas, name)
+		}
+		env.LemmaOrder = append([]string(nil), full.LemmaOrder[:cut]...)
+		var hints []string
+		for _, h := range env.HintOrder {
+			if removed[h] {
+				delete(env.Hints, h)
+				continue
+			}
+			hints = append(hints, h)
+		}
+		env.HintOrder = hints
+	}
+	r.envCache.Store(th.Name, env)
+	return env
+}
+
+// jobSeed derives a deterministic per-job RNG seed.
+func (r *Runner) jobSeed(thName, modelName, setting string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(thName))
+	h.Write([]byte{0})
+	h.Write([]byte(modelName))
+	h.Write([]byte{0})
+	h.Write([]byte(setting))
+	return r.Seed ^ int64(h.Sum64())
+}
+
+// RunTheorem searches for a proof of one theorem with one model/setting.
+func (r *Runner) RunTheorem(prof model.Profile, setting prompt.Setting, th *corpus.Theorem) Outcome {
+	env := r.restrictEnv(th)
+	b := prompt.Builder{
+		Corpus:  r.Corpus,
+		Setting: setting,
+		HintSet: r.HintSet,
+		Window:  prof.ContextWindow,
+	}
+	pr := b.Build(th)
+	return r.runWithPrompt(prof, setting, th, env, pr)
+}
+
+func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, env *kernel.Env, pr *prompt.Prompt) Outcome {
+	ng := model.BuildNGram(pr)
+	mdl := model.New(prof, env)
+	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String())))
+
+	cfg := core.Config{
+		Env:  env,
+		Stmt: th.Stmt,
+		Propose: func(st *tactic.State, path []string) []model.Candidate {
+			return mdl.Propose(pr, st, path, ng, rng)
+		},
+		Width:      r.Width,
+		QueryLimit: r.QueryLimit,
+	}
+	search := r.Search
+	if search == nil {
+		search = core.BestFirst
+	}
+	res := search(cfg)
+
+	out := Outcome{
+		Theorem:     th.Name,
+		File:        th.File,
+		Category:    th.Category,
+		Model:       prof.Name,
+		Setting:     setting.String(),
+		Status:      res.Status,
+		Queries:     res.Queries,
+		HumanTokens: tokenizer.Count(th.Proof),
+	}
+	if res.Status == core.Proved {
+		sentences := make([]string, len(res.Proof))
+		for i, s := range res.Proof {
+			s = strings.TrimSpace(s)
+			if !strings.HasSuffix(s, ".") {
+				s += "."
+			}
+			sentences[i] = s
+		}
+		out.Proof = strings.Join(sentences, " ")
+		out.GenTokens = tokenizer.Count(out.Proof)
+		out.Similarity = textmetrics.Similarity(out.Proof, th.Proof)
+		out.RelLength = textmetrics.RelativeLength(out.Proof, th.Proof)
+	}
+	return out
+}
+
+// RunReduced runs the §4.3 probe: the same search but with a hand-reduced,
+// dependency-only context.
+func (r *Runner) RunReduced(prof model.Profile, setting prompt.Setting, th *corpus.Theorem) Outcome {
+	env := r.restrictEnv(th)
+	b := prompt.Builder{
+		Corpus:  r.Corpus,
+		Setting: setting,
+		HintSet: r.HintSet,
+		Window:  prof.ContextWindow,
+	}
+	pr := b.ReducedContext(th)
+	return r.runWithPrompt(prof, setting, th, env, pr)
+}
+
+// RunSweep evaluates a model over theorems in one setting, fanning out over
+// a bounded worker pool; results keep theorem order.
+func (r *Runner) RunSweep(prof model.Profile, setting prompt.Setting, ths []*corpus.Theorem) []Outcome {
+	out := make([]Outcome, len(ths))
+	par := r.Parallelism
+	if par <= 1 {
+		for i, th := range ths {
+			out[i] = r.RunTheorem(prof, setting, th)
+		}
+		return out
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, th := range ths {
+		wg.Add(1)
+		go func(i int, th *corpus.Theorem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = r.RunTheorem(prof, setting, th)
+		}(i, th)
+	}
+	wg.Wait()
+	return out
+}
+
+// RunWholeProof runs the §4.3 whole-proof probe: the model writes a
+// complete script in one pass (no checker interaction, `attempts`
+// independent samples) and the script is verified afterwards. Returns an
+// Outcome whose Status is Proved only if some attempt replays.
+func (r *Runner) RunWholeProof(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, attempts int) Outcome {
+	env := r.restrictEnv(th)
+	b := prompt.Builder{Corpus: r.Corpus, Setting: setting, HintSet: r.HintSet, Window: prof.ContextWindow}
+	pr := b.Build(th)
+	ng := model.BuildNGram(pr)
+	mdl := model.New(prof, env)
+	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String()+"/whole")))
+
+	out := Outcome{
+		Theorem:     th.Name,
+		File:        th.File,
+		Category:    th.Category,
+		Model:       prof.Name,
+		Setting:     setting.String() + "+whole-proof",
+		Status:      core.Stuck,
+		HumanTokens: tokenizer.Count(th.Proof),
+	}
+	for a := 0; a < attempts; a++ {
+		script := mdl.WholeProof(pr, th.Stmt, ng, rng, 24)
+		out.Queries++ // one "query" per full completion
+		for i, sentence := range script {
+			sentence = strings.TrimSpace(sentence)
+			if !strings.HasSuffix(sentence, ".") {
+				sentence += "."
+			}
+			script[i] = sentence
+		}
+		joined := strings.Join(script, " ")
+		if joined == "" {
+			continue
+		}
+		if err := tactic.CheckProof(env, th.Stmt, joined); err == nil {
+			out.Status = core.Proved
+			out.Proof = joined
+			out.GenTokens = tokenizer.Count(joined)
+			out.Similarity = textmetrics.Similarity(joined, th.Proof)
+			out.RelLength = textmetrics.RelativeLength(joined, th.Proof)
+			return out
+		}
+	}
+	return out
+}

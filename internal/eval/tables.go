@@ -1,0 +1,331 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"llmfscq/internal/core"
+	"llmfscq/internal/corpus"
+)
+
+// Token-length bins used by Figure 1 (powers of two, as in the paper).
+var binEdges = []int{16, 32, 64, 128, 256, 512}
+
+// BinOf returns the Figure 1 bin index of a human-proof token count.
+func BinOf(tokens int) int {
+	for i, e := range binEdges {
+		if tokens < e {
+			return i
+		}
+	}
+	return len(binEdges)
+}
+
+// BinLabel names a bin.
+func BinLabel(i int) string {
+	if i == 0 {
+		return fmt.Sprintf("<%d", binEdges[0])
+	}
+	if i == len(binEdges) {
+		return fmt.Sprintf(">=%d", binEdges[len(binEdges)-1])
+	}
+	return fmt.Sprintf("%d-%d", binEdges[i-1], binEdges[i]-1)
+}
+
+// NumBins is the number of Figure 1 bins.
+func NumBins() int { return len(binEdges) + 1 }
+
+// Sweep holds a full experiment: model -> setting -> outcomes.
+type Sweep struct {
+	ByModel map[string]map[string][]Outcome
+	// Order preserves model row order.
+	Order []string
+}
+
+// NewSweep builds an empty sweep.
+func NewSweep() *Sweep {
+	return &Sweep{ByModel: map[string]map[string][]Outcome{}}
+}
+
+// Add registers a batch of outcomes.
+func (s *Sweep) Add(modelName, setting string, outs []Outcome) {
+	m, ok := s.ByModel[modelName]
+	if !ok {
+		m = map[string][]Outcome{}
+		s.ByModel[modelName] = m
+		s.Order = append(s.Order, modelName)
+	}
+	m[setting] = append(m[setting], outs...)
+}
+
+// coverage returns proved/total.
+func coverage(outs []Outcome) (int, int) {
+	p := 0
+	for _, o := range outs {
+		if o.Status == core.Proved {
+			p++
+		}
+	}
+	return p, len(outs)
+}
+
+func pct(p, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(p) / float64(n)
+}
+
+// binCoverage returns per-bin (proved, total).
+func binCoverage(outs []Outcome) ([]int, []int) {
+	proved := make([]int, NumBins())
+	total := make([]int, NumBins())
+	for _, o := range outs {
+		b := BinOf(o.HumanTokens)
+		total[b]++
+		if o.Status == core.Proved {
+			proved[b]++
+		}
+	}
+	return proved, total
+}
+
+// Figure1a renders proof coverage per human-proof-length bin for every
+// model, vanilla → hint (the paper's Figure 1a).
+func (s *Sweep) Figure1a() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1a: proof coverage by human-proof token length (vanilla -> hint)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "model\t")
+	for i := 0; i < NumBins(); i++ {
+		fmt.Fprintf(w, "%s\t", BinLabel(i))
+	}
+	fmt.Fprintf(w, "overall\n")
+	for _, name := range s.Order {
+		settings := s.ByModel[name]
+		van, hasVan := settings["vanilla"]
+		hin, hasHin := settings["hint"]
+		if !hasVan && !hasHin {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t", name)
+		vp, vt := binCoverage(van)
+		hp, ht := binCoverage(hin)
+		for i := 0; i < NumBins(); i++ {
+			fmt.Fprintf(w, "%s\t", arrowCell(vp[i], vt[i], hp[i], ht[i], hasVan, hasHin))
+		}
+		ovp, ovt := coverage(van)
+		ohp, oht := coverage(hin)
+		fmt.Fprintf(w, "%s\n", arrowCell(ovp, ovt, ohp, oht, hasVan, hasHin))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func arrowCell(vp, vt, hp, ht int, hasVan, hasHin bool) string {
+	switch {
+	case hasVan && hasHin:
+		if vt == 0 && ht == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f->%.0f%%", pct(vp, vt), pct(hp, ht))
+	case hasVan:
+		if vt == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", pct(vp, vt))
+	default:
+		if ht == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", pct(hp, ht))
+	}
+}
+
+// Figure1b renders the 1M vs 128k context comparison for Gemini 1.5 Pro
+// (the paper's Figure 1b).
+func (s *Sweep) Figure1b() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1b: Gemini 1.5 Pro, full (1M) vs truncated (128k) context\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "model\tsetting\toverall coverage\n")
+	for _, name := range s.Order {
+		if !strings.Contains(name, "Gemini 1.5 Pro") {
+			continue
+		}
+		for _, setting := range []string{"vanilla", "hint"} {
+			outs := s.ByModel[name][setting]
+			if len(outs) == 0 {
+				continue
+			}
+			p, n := coverage(outs)
+			fmt.Fprintf(w, "%s\t%s\t%.1f%% (%d/%d)\n", name, setting, pct(p, n), p, n)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table1 renders per-category actual vs expected coverage for one model
+// (the paper uses GPT-4o). Expected coverage is category-agnostic: each
+// lemma contributes the model's Figure-1 coverage rate for its length bin.
+func (s *Sweep) Table1(modelName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: coverage by category, actual / expected (model: %s)\n\n", modelName)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "setting\tUtilities\tCHL\tFile System\n")
+	for _, setting := range []string{"vanilla", "hint"} {
+		outs := s.ByModel[modelName][setting]
+		if len(outs) == 0 {
+			continue
+		}
+		bp, bt := binCoverage(outs)
+		rate := make([]float64, NumBins())
+		for i := range rate {
+			if bt[i] > 0 {
+				rate[i] = float64(bp[i]) / float64(bt[i])
+			}
+		}
+		label := "w/o hints"
+		if setting == "hint" {
+			label = "w/ hints"
+		}
+		fmt.Fprintf(w, "%s\t", label)
+		for _, cat := range []corpus.Category{corpus.Utilities, corpus.CHL, corpus.FileSystem} {
+			proved, total := 0, 0
+			expected := 0.0
+			for _, o := range outs {
+				if o.Category != cat {
+					continue
+				}
+				total++
+				if o.Status == core.Proved {
+					proved++
+				}
+				expected += rate[BinOf(o.HumanTokens)]
+			}
+			if total == 0 {
+				fmt.Fprintf(w, "-\t")
+				continue
+			}
+			fmt.Fprintf(w, "%.1f%% / %.1f%%\t", pct(proved, total), 100*expected/float64(total))
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table2 renders proved/stuck/fuelout rates plus the qualitative metrics
+// (similarity, relative length), vanilla → hint, one row per model.
+func (s *Sweep) Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: outcome rates and qualitative metrics (vanilla -> hint)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "model\tproved\tstuck\tfuelout\tsimilarity\tlength\n")
+	for _, name := range s.Order {
+		van := s.ByModel[name]["vanilla"]
+		hin := s.ByModel[name]["hint"]
+		if len(van) == 0 && len(hin) == 0 {
+			continue
+		}
+		vs := stats(van)
+		hs := stats(hin)
+		fmt.Fprintf(w, "%s\t%.1f%% -> %.1f%%\t%.1f%% -> %.1f%%\t%.1f%% -> %.1f%%\t%.3f -> %.3f\t%.1f%% -> %.1f%%\n",
+			name,
+			vs.proved, hs.proved, vs.stuck, hs.stuck, vs.fuelout, hs.fuelout,
+			vs.similarity, hs.similarity, vs.length, hs.length)
+	}
+	w.Flush()
+	return b.String()
+}
+
+type rowStats struct {
+	proved, stuck, fuelout float64
+	similarity, length     float64
+}
+
+func stats(outs []Outcome) rowStats {
+	if len(outs) == 0 {
+		return rowStats{}
+	}
+	var rs rowStats
+	nProved := 0
+	for _, o := range outs {
+		switch o.Status {
+		case core.Proved:
+			rs.proved++
+			rs.similarity += o.Similarity
+			rs.length += o.RelLength
+			nProved++
+		case core.Stuck:
+			rs.stuck++
+		case core.Fuelout:
+			rs.fuelout++
+		}
+	}
+	n := float64(len(outs))
+	rs.proved = 100 * rs.proved / n
+	rs.stuck = 100 * rs.stuck / n
+	rs.fuelout = 100 * rs.fuelout / n
+	if nProved > 0 {
+		rs.similarity /= float64(nProved)
+		rs.length = 100 * rs.length / float64(nProved)
+	}
+	return rs
+}
+
+// Figure2 renders case studies: proved theorems where the generated proof
+// is shorter than the human one, like the paper's Figure 2.
+func (s *Sweep) Figure2(c *corpus.Corpus, max int) string {
+	type cs struct {
+		o      Outcome
+		saving int
+	}
+	var all []cs
+	for _, name := range s.Order {
+		for _, setting := range []string{"hint", "vanilla"} {
+			for _, o := range s.ByModel[name][setting] {
+				if o.Status == core.Proved && o.GenTokens < o.HumanTokens {
+					all = append(all, cs{o: o, saving: o.HumanTokens - o.GenTokens})
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].saving != all[j].saving {
+			return all[i].saving > all[j].saving
+		}
+		return all[i].o.Theorem < all[j].o.Theorem
+	})
+	seen := map[string]bool{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: LLM proofs more concise than the human proofs\n")
+	shown := 0
+	for _, e := range all {
+		if seen[e.o.Theorem] {
+			continue
+		}
+		seen[e.o.Theorem] = true
+		th, ok := c.TheoremNamed(e.o.Theorem)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[Case %c] %s (%s, %s)\n", 'A'+rune(shown), e.o.Theorem, e.o.File, e.o.Model)
+		fmt.Fprintf(&b, "  statement: %s\n", th.Stmt)
+		fmt.Fprintf(&b, "  human  (%3d tokens): %s\n", e.o.HumanTokens, oneLine(th.Proof))
+		fmt.Fprintf(&b, "  model  (%3d tokens): %s\n", e.o.GenTokens, e.o.Proof)
+		shown++
+		if shown >= max {
+			break
+		}
+	}
+	if shown == 0 {
+		b.WriteString("\n(no generated proof was shorter than its human counterpart)\n")
+	}
+	return b.String()
+}
+
+func oneLine(s string) string { return strings.Join(strings.Fields(s), " ") }

@@ -1,0 +1,103 @@
+package balloc
+
+import (
+	"testing"
+
+	"llmfscq/internal/fs/disk"
+	"llmfscq/internal/fs/wal"
+)
+
+func newAlloc(t *testing.T, count int) *Alloc {
+	t.Helper()
+	d := disk.New(1 + 2*32 + count)
+	l, err := wal.New(d, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(l, 0, count, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAllocFirstFit(t *testing.T) {
+	a := newAlloc(t, 4)
+	b1, err := a.Alloc()
+	if err != nil || b1 != 100 {
+		t.Fatalf("first alloc %d %v", b1, err)
+	}
+	b2, _ := a.Alloc()
+	if b2 != 101 {
+		t.Fatalf("second alloc %d", b2)
+	}
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := a.Alloc()
+	if b3 != 100 {
+		t.Fatalf("freed block not reused first: %d", b3)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newAlloc(t, 2)
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err != ErrNoSpace {
+		t.Fatalf("expected ErrNoSpace, got %v", err)
+	}
+	free, _ := a.CountFree()
+	if free != 0 {
+		t.Fatalf("free count %d", free)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := newAlloc(t, 2)
+	b, _ := a.Alloc()
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.Free(999); err == nil {
+		t.Fatal("out-of-range free accepted")
+	}
+}
+
+// The allocator invariant: allocs - frees == count - CountFree, and Used
+// agrees (dynamic analogue of the Balloc.v lemmas).
+func TestCountFreeInvariant(t *testing.T) {
+	a := newAlloc(t, 8)
+	var held []int
+	for i := 0; i < 5; i++ {
+		b, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, b)
+	}
+	_ = a.Free(held[1])
+	_ = a.Free(held[3])
+	free, err := a.CountFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 8-3 {
+		t.Fatalf("free = %d, want 5", free)
+	}
+	used, _ := a.Used(held[0])
+	if !used {
+		t.Fatal("held block reported free")
+	}
+	used, _ = a.Used(held[1])
+	if used {
+		t.Fatal("freed block reported used")
+	}
+}

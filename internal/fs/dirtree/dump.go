@@ -1,0 +1,50 @@
+package dirtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llmfscq/internal/fs/inode"
+)
+
+// DumpTree renders the whole tree (names, types, file contents) as a
+// canonical string — used by crash tests to compare observable states and
+// by the examples for display.
+func (f *FS) DumpTree() (string, error) {
+	var b strings.Builder
+	var walk func(inum int, path string) error
+	walk = func(inum int, path string) error {
+		ino, err := f.itable.Get(inum)
+		if err != nil {
+			return err
+		}
+		switch ino.Type {
+		case inode.Dir:
+			fmt.Fprintf(&b, "dir  %s\n", path)
+			ents, err := f.readDir(ino)
+			if err != nil {
+				return err
+			}
+			sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+			for _, e := range ents {
+				if err := walk(e.Inum, fmt.Sprintf("%s/%d", path, e.Name)); err != nil {
+					return err
+				}
+			}
+		case inode.File:
+			data, err := f.ReadFile(inum)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&b, "file %s = %v\n", path, data)
+		default:
+			fmt.Fprintf(&b, "??? %s type=%d\n", path, ino.Type)
+		}
+		return nil
+	}
+	if err := walk(RootInum, ""); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,115 @@
+package dirtree
+
+import (
+	"fmt"
+
+	"llmfscq/internal/fs/inode"
+)
+
+// Fsck checks the file system's global invariants — the dynamic analogues
+// of the corpus theorems:
+//
+//   - every allocated inode's blocks are in range, marked used in the
+//     bitmap, and referenced exactly once (no double allocation);
+//   - every used bitmap bit is referenced by exactly one inode (no leaks);
+//   - every directory's entry names are distinct and nonzero
+//     (tree_names_distinct) and point at allocated inodes;
+//   - every allocated inode is reachable from the root exactly once.
+func (f *FS) Fsck() error {
+	refs := map[int]int{} // block -> reference count
+	allocated := map[int]bool{}
+	for i := 0; i < f.itable.Count(); i++ {
+		ino, err := f.itable.Get(i)
+		if err != nil {
+			return fmt.Errorf("fsck: inode %d unreadable: %w", i, err)
+		}
+		if ino.Type == inode.Free {
+			continue
+		}
+		allocated[i] = true
+		if ino.Type == inode.Dir && ino.Size%2 != 0 {
+			return fmt.Errorf("fsck: directory inode %d has odd size %d", i, ino.Size)
+		}
+		for k := 0; k < ino.Size; k++ {
+			b := ino.Blocks[k]
+			if b < f.blocksAt() || b >= f.blocksAt()+f.geo.NBlocks {
+				return fmt.Errorf("fsck: inode %d block %d out of range", i, b)
+			}
+			used, err := f.alloc.Used(b)
+			if err != nil {
+				return err
+			}
+			if !used {
+				return fmt.Errorf("fsck: inode %d references free block %d", i, b)
+			}
+			refs[b]++
+			if refs[b] > 1 {
+				return fmt.Errorf("fsck: block %d referenced twice", b)
+			}
+		}
+	}
+	// No leaked blocks.
+	for b := f.blocksAt(); b < f.blocksAt()+f.geo.NBlocks; b++ {
+		used, err := f.alloc.Used(b)
+		if err != nil {
+			return err
+		}
+		if used && refs[b] == 0 {
+			return fmt.Errorf("fsck: block %d used but unreferenced", b)
+		}
+	}
+	// Tree walk: names distinct, targets allocated, each inode reachable
+	// exactly once.
+	seen := map[int]bool{}
+	var walk func(inum int) error
+	walk = func(inum int) error {
+		if seen[inum] {
+			return fmt.Errorf("fsck: inode %d reachable twice", inum)
+		}
+		seen[inum] = true
+		ino, err := f.itable.Get(inum)
+		if err != nil {
+			return err
+		}
+		if ino.Type != inode.Dir {
+			return nil
+		}
+		ents, err := f.readDir(ino)
+		if err != nil {
+			return err
+		}
+		names := map[uint64]bool{}
+		for _, e := range ents {
+			if e.Name == 0 {
+				return fmt.Errorf("fsck: zero name in directory %d", inum)
+			}
+			if names[e.Name] {
+				return fmt.Errorf("fsck: duplicate name %d in directory %d", e.Name, inum)
+			}
+			names[e.Name] = true
+			if !allocated[e.Inum] {
+				return fmt.Errorf("fsck: entry %d in directory %d points at free inode %d", e.Name, inum, e.Inum)
+			}
+			if err := walk(e.Inum); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rootIno, err := f.itable.Get(RootInum)
+	if err != nil {
+		return err
+	}
+	if rootIno.Type != inode.Dir {
+		return fmt.Errorf("fsck: root is not a directory")
+	}
+	if err := walk(RootInum); err != nil {
+		return err
+	}
+	for i := range allocated {
+		if !seen[i] {
+			return fmt.Errorf("fsck: inode %d allocated but unreachable", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package disk simulates an asynchronous block device with the crash model
+// FSCQ verifies against: writes become volatile immediately, a sync barrier
+// makes them durable, and a crash preserves every synced write while each
+// unsynced write is independently either applied or lost.
+//
+// Fault injection is deterministic: FailAfter arms a crash at the N-th
+// write, letting tests sweep every crash point of an operation.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrCrashed is returned once the armed crash point has been reached; all
+// subsequent operations fail until the crash is materialized with Crash.
+var ErrCrashed = errors.New("disk: crashed")
+
+// Disk is a simulated block device of fixed size. Block values are uint64
+// words (a "block" holds one word; callers build records from runs of
+// blocks).
+type Disk struct {
+	volatile []uint64
+	synced   []uint64
+	dirty    map[int]bool
+
+	writes    int
+	failAfter int // crash when writes reaches this count; <0 disarmed
+	crashed   bool
+
+	// Stats
+	Reads, Writes, Syncs int
+}
+
+// New creates a zeroed disk with n blocks.
+func New(n int) *Disk {
+	return &Disk{
+		volatile:  make([]uint64, n),
+		synced:    make([]uint64, n),
+		dirty:     map[int]bool{},
+		failAfter: -1,
+	}
+}
+
+// Size returns the number of blocks.
+func (d *Disk) Size() int { return len(d.volatile) }
+
+// Read returns the volatile contents of block a.
+func (d *Disk) Read(a int) (uint64, error) {
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	if a < 0 || a >= len(d.volatile) {
+		return 0, fmt.Errorf("disk: read out of range: %d", a)
+	}
+	d.Reads++
+	return d.volatile[a], nil
+}
+
+// Write stores v into block a (volatile until the next Sync).
+func (d *Disk) Write(a int, v uint64) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if a < 0 || a >= len(d.volatile) {
+		return fmt.Errorf("disk: write out of range: %d", a)
+	}
+	if d.failAfter >= 0 && d.writes >= d.failAfter {
+		d.crashed = true
+		return ErrCrashed
+	}
+	d.writes++
+	d.Writes++
+	d.volatile[a] = v
+	d.dirty[a] = true
+	return nil
+}
+
+// Sync makes all volatile writes durable.
+func (d *Disk) Sync() error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.Syncs++
+	for a := range d.dirty {
+		d.synced[a] = d.volatile[a]
+	}
+	d.dirty = map[int]bool{}
+	return nil
+}
+
+// FailAfter arms a crash at the n-th subsequent write (0 = the very next
+// write fails). A negative n disarms.
+func (d *Disk) FailAfter(n int) {
+	d.writes = 0
+	d.failAfter = n
+}
+
+// Crashed reports whether the armed crash point has been hit.
+func (d *Disk) Crashed() bool { return d.crashed }
+
+// Crash materializes a crash: it returns a fresh disk whose contents are
+// the synced state plus an rng-chosen subset of the unsynced writes — the
+// standard asynchronous-disk crash nondeterminism. The receiver is left
+// unusable.
+func (d *Disk) Crash(rng *rand.Rand) *Disk {
+	nd := New(len(d.volatile))
+	copy(nd.volatile, d.synced)
+	for a := range d.dirty {
+		if rng.Intn(2) == 1 {
+			nd.volatile[a] = d.volatile[a]
+		}
+	}
+	copy(nd.synced, nd.volatile)
+	d.crashed = true
+	return nd
+}
+
+// Snapshot copies the volatile contents (for test assertions).
+func (d *Disk) Snapshot() []uint64 {
+	out := make([]uint64, len(d.volatile))
+	copy(out, d.volatile)
+	return out
+}

@@ -1,0 +1,78 @@
+package inode
+
+import (
+	"testing"
+
+	"llmfscq/internal/fs/disk"
+	"llmfscq/internal/fs/wal"
+)
+
+func newTable(t *testing.T, count int) *Table {
+	t.Helper()
+	d := disk.New(1 + 2*64 + RegionWords(count))
+	l, err := wal.New(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := New(l, 0, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	tbl := newTable(t, 4)
+	ino := Inode{Num: 2, Type: File, Size: 3}
+	ino.Blocks[0], ino.Blocks[1], ino.Blocks[2] = 10, 11, 12
+	if err := tbl.Put(ino); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != File || got.Size != 3 || got.Blocks[1] != 11 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Untouched inodes stay free.
+	other, _ := tbl.Get(1)
+	if other.Type != Free {
+		t.Fatalf("inode 1: %+v", other)
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	tbl := newTable(t, 2)
+	a, err := tbl.Alloc(Dir)
+	if err != nil || a.Num != 0 || a.Type != Dir {
+		t.Fatalf("%+v %v", a, err)
+	}
+	b, err := tbl.Alloc(File)
+	if err != nil || b.Num != 1 {
+		t.Fatalf("%+v %v", b, err)
+	}
+	if _, err := tbl.Alloc(File); err != ErrNoInodes {
+		t.Fatalf("expected ErrNoInodes, got %v", err)
+	}
+	if err := tbl.FreeInode(0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tbl.Alloc(File)
+	if err != nil || c.Num != 0 {
+		t.Fatalf("freed inode not reused: %+v %v", c, err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tbl := newTable(t, 2)
+	if _, err := tbl.Get(2); err == nil {
+		t.Fatal("out-of-range get accepted")
+	}
+	if err := tbl.Put(Inode{Num: -1}); err == nil {
+		t.Fatal("negative put accepted")
+	}
+	if err := tbl.Put(Inode{Num: 0, Size: NDirect + 1}); err == nil {
+		t.Fatal("oversized inode accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package wal implements the write-ahead log that gives the file system
+// atomic multi-block transactions over the asynchronous disk — the layer
+// whose crash safety FSCQ's Log.v proves.
+//
+// Disk layout:
+//
+//	block 0                      header: number of committed log entries
+//	blocks 1 .. 2*MaxEntries     entry records: (addr, value) pairs
+//	blocks DataStart() ..        the data region transactions address
+//
+// A transaction's writes are buffered in memory (deferred writes, as in
+// DFSCQ). Commit makes them atomic: entries are written and synced first,
+// then the header is written and synced (the commit point), then the
+// entries are applied to the data region and the log is truncated. A crash
+// before the header sync loses the whole transaction; a crash after it is
+// redone by Recover.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"llmfscq/internal/fs/disk"
+)
+
+// Entry is one logged write, addressed relative to the data region.
+type Entry struct {
+	Addr int
+	Val  uint64
+}
+
+// Log is a write-ahead log mounted on a disk.
+type Log struct {
+	d   *disk.Disk
+	max int
+	// pending buffers the current transaction's writes in order.
+	pending []Entry
+	// pendingIdx indexes the latest pending write per address.
+	pendingIdx map[int]int
+}
+
+// ErrTooLarge is returned when a transaction exceeds the log capacity.
+var ErrTooLarge = errors.New("wal: transaction exceeds log capacity")
+
+// New mounts a log with capacity maxEntries on a fresh (all-zero) disk.
+func New(d *disk.Disk, maxEntries int) (*Log, error) {
+	l := &Log{d: d, max: maxEntries, pendingIdx: map[int]int{}}
+	if d.Size() < l.DataStart() {
+		return nil, fmt.Errorf("wal: disk too small: %d < %d", d.Size(), l.DataStart())
+	}
+	return l, nil
+}
+
+// Recover mounts a log on a possibly-crashed disk, redoing any committed
+// but unapplied transaction. It is idempotent: recovering a recovered disk
+// is a no-op.
+func Recover(d *disk.Disk, maxEntries int) (*Log, error) {
+	l := &Log{d: d, max: maxEntries, pendingIdx: map[int]int{}}
+	if d.Size() < l.DataStart() {
+		return nil, fmt.Errorf("wal: disk too small")
+	}
+	n, err := d.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return l, nil
+	}
+	if int(n) > maxEntries {
+		return nil, fmt.Errorf("wal: corrupt header: %d entries", n)
+	}
+	// Redo the committed transaction.
+	for i := 0; i < int(n); i++ {
+		a, err := d.Read(1 + 2*i)
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.Read(1 + 2*i + 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Write(l.DataStart()+int(a), v); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Sync(); err != nil {
+		return nil, err
+	}
+	if err := d.Write(0, 0); err != nil {
+		return nil, err
+	}
+	if err := d.Sync(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// DataStart returns the first data-region block.
+func (l *Log) DataStart() int { return 1 + 2*l.max }
+
+// DataSize returns the number of data-region blocks.
+func (l *Log) DataSize() int { return l.d.Size() - l.DataStart() }
+
+// Read returns the value of data block a as seen by the current
+// transaction (buffered writes are visible).
+func (l *Log) Read(a int) (uint64, error) {
+	if a < 0 || a >= l.DataSize() {
+		return 0, fmt.Errorf("wal: read out of data region: %d", a)
+	}
+	if i, ok := l.pendingIdx[a]; ok {
+		return l.pending[i].Val, nil
+	}
+	return l.d.Read(l.DataStart() + a)
+}
+
+// Write buffers a data-region write in the current transaction.
+func (l *Log) Write(a int, v uint64) error {
+	if a < 0 || a >= l.DataSize() {
+		return fmt.Errorf("wal: write out of data region: %d", a)
+	}
+	if i, ok := l.pendingIdx[a]; ok {
+		l.pending[i].Val = v
+		return nil
+	}
+	if len(l.pending) >= l.max {
+		return ErrTooLarge
+	}
+	l.pendingIdx[a] = len(l.pending)
+	l.pending = append(l.pending, Entry{Addr: a, Val: v})
+	return nil
+}
+
+// Pending returns the buffered entry count of the open transaction.
+func (l *Log) Pending() int { return len(l.pending) }
+
+// Abort discards the buffered transaction.
+func (l *Log) Abort() {
+	l.pending = nil
+	l.pendingIdx = map[int]int{}
+}
+
+// Commit atomically applies the buffered transaction:
+//
+//  1. write the entries into the log region and sync,
+//  2. write the header (entry count) and sync — the commit point,
+//  3. apply the entries to the data region and sync,
+//  4. truncate the log (header := 0) and sync.
+//
+// A crash anywhere leaves the disk recoverable to either the pre- or
+// post-transaction state.
+func (l *Log) Commit() error {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	for i, e := range l.pending {
+		if err := l.d.Write(1+2*i, uint64(e.Addr)); err != nil {
+			return err
+		}
+		if err := l.d.Write(1+2*i+1, e.Val); err != nil {
+			return err
+		}
+	}
+	if err := l.d.Sync(); err != nil {
+		return err
+	}
+	if err := l.d.Write(0, uint64(len(l.pending))); err != nil {
+		return err
+	}
+	if err := l.d.Sync(); err != nil {
+		return err
+	}
+	for _, e := range l.pending {
+		if err := l.d.Write(l.DataStart()+e.Addr, e.Val); err != nil {
+			return err
+		}
+	}
+	if err := l.d.Sync(); err != nil {
+		return err
+	}
+	if err := l.d.Write(0, 0); err != nil {
+		return err
+	}
+	if err := l.d.Sync(); err != nil {
+		return err
+	}
+	l.Abort()
+	return nil
+}

@@ -1,0 +1,297 @@
+package kernel
+
+import "errors"
+
+// ErrFuel is returned when normalization runs out of fuel. Tactics surface
+// it as the "tactic timed out" condition (the paper's 5-second limit).
+var ErrFuel = errors.New("kernel: evaluation fuel exhausted")
+
+// DefaultFuel bounds the number of reduction steps in one normalization.
+const DefaultFuel = 20000
+
+// Evaluator normalizes terms against an environment with bounded fuel.
+type Evaluator struct {
+	Env  *Env
+	Fuel int
+	// spent counts consumed steps across a single Normalize call tree.
+	spent int
+	// iota counts match reductions, used for the fixpoint-unfold guard.
+	iota int
+}
+
+// NewEvaluator returns an evaluator with the default fuel budget.
+func NewEvaluator(env *Env) *Evaluator { return &Evaluator{Env: env, Fuel: DefaultFuel} }
+
+// Normalize reduces t to (simpl-style) normal form: function unfolding with
+// the Coq-like guard that a Fixpoint only unfolds when its unfolding makes
+// iota progress (the top-level match reduces); match reduction on
+// constructor-headed scrutinees; recursion into arguments.
+func (ev *Evaluator) Normalize(t *Term) (*Term, error) {
+	ev.spent = 0
+	return ev.norm(t, maxDepth)
+}
+
+// maxDepth bounds recursion depth within one normalization; the step
+// budget (Fuel) is the real limit, this only guards the Go stack.
+const maxDepth = 2048
+
+// NormalizeForm normalizes every term inside a formula.
+func (ev *Evaluator) NormalizeForm(f *Form) (*Form, error) {
+	ev.spent = 0
+	return ev.normForm(f, maxDepth)
+}
+
+func (ev *Evaluator) tick() error {
+	ev.spent++
+	if ev.spent > ev.Fuel {
+		return ErrFuel
+	}
+	return nil
+}
+
+func (ev *Evaluator) norm(t *Term, depth int) (*Term, error) {
+	if err := ev.tick(); err != nil {
+		return nil, err
+	}
+	if depth <= 0 {
+		return nil, ErrFuel
+	}
+	switch {
+	case t == nil:
+		return nil, nil
+	case t.Var != "":
+		return t, nil
+	case t.Match != nil:
+		scrut, err := ev.norm(t.Match.Scrut, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		if red, ok, err := ev.reduceMatch(scrut, t.Match.Cases); err != nil {
+			return nil, err
+		} else if ok {
+			ev.iota++
+			return ev.norm(red, depth-1)
+		}
+		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: t.Match.Cases}}, nil
+	default:
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			na, err := ev.norm(a, depth-1)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		head := &Term{Fun: t.Fun, Args: args}
+		fd, isFun := ev.Env.Funs[t.Fun]
+		if !isFun || len(args) != len(fd.Params) {
+			return head, nil
+		}
+		sub := make(Subst, len(fd.Params))
+		for i, p := range fd.Params {
+			sub[p.Name] = args[i]
+		}
+		body := fd.Body.ApplySubst(sub)
+		// Unfold guard, mirroring Coq's simpl: unfold the definition only if
+		// doing so makes iota progress (some match reduces). Definitions
+		// whose body contains no match at all always unfold.
+		before := ev.iota
+		reduced, err := ev.norm(body, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		if ev.iota == before && containsMatch(fd.Body) {
+			return head, nil
+		}
+		return reduced, nil
+	}
+}
+
+func containsMatch(t *Term) bool {
+	found := false
+	t.Subterms(func(u *Term) bool {
+		if u.Match != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reduceMatch attempts one iota step: if the scrutinee is constructor-headed
+// and some case pattern matches, return the instantiated right-hand side.
+func (ev *Evaluator) reduceMatch(scrut *Term, cases []MatchCase) (*Term, bool, error) {
+	if !scrut.IsApp() || !ev.Env.IsConstructor(scrut.Fun) {
+		return nil, false, nil
+	}
+	for _, c := range cases {
+		if sub, ok := matchPattern(c.Pat, scrut); ok {
+			return c.RHS.ApplySubst(sub), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// matchPattern matches a linear constructor pattern against a term.
+// Pattern variables bind; constructor applications must agree.
+func matchPattern(pat, t *Term) (Subst, bool) {
+	sub := Subst{}
+	if matchPatternInto(pat, t, sub) {
+		return sub, true
+	}
+	return nil, false
+}
+
+func matchPatternInto(pat, t *Term, sub Subst) bool {
+	switch {
+	case pat == nil || t == nil:
+		return pat == t
+	case pat.Var != "":
+		if pat.Var == "_" {
+			return true
+		}
+		if prev, ok := sub[pat.Var]; ok {
+			return prev.Equal(t)
+		}
+		sub[pat.Var] = t
+		return true
+	case pat.Match != nil:
+		return false
+	default:
+		if !t.IsApp() || pat.Fun != t.Fun || len(pat.Args) != len(t.Args) {
+			return false
+		}
+		for i := range pat.Args {
+			if !matchPatternInto(pat.Args[i], t.Args[i], sub) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
+	if f == nil {
+		return nil, nil
+	}
+	switch f.Kind {
+	case FTrue, FFalse:
+		return f, nil
+	case FEq:
+		t1, err := ev.norm(f.T1, depth)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := ev.norm(f.T2, depth)
+		if err != nil {
+			return nil, err
+		}
+		return Eq(t1, t2), nil
+	case FPred:
+		args := make([]*Term, len(f.Args))
+		for i, a := range f.Args {
+			na, err := ev.norm(a, depth)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &Form{Kind: FPred, Pred: f.Pred, Args: args}, nil
+	case FNot:
+		l, err := ev.normForm(f.L, depth)
+		if err != nil {
+			return nil, err
+		}
+		return Not(l), nil
+	case FAnd, FOr, FImpl, FIff:
+		l, err := ev.normForm(f.L, depth)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.normForm(f.R, depth)
+		if err != nil {
+			return nil, err
+		}
+		return &Form{Kind: f.Kind, L: l, R: r}, nil
+	case FForall, FExists:
+		body, err := ev.normForm(f.Body, depth)
+		if err != nil {
+			return nil, err
+		}
+		return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: body}, nil
+	}
+	return f, nil
+}
+
+// UnfoldDef replaces applications of the named definition in a formula by
+// its body (one level). Works for both predicate definitions and function
+// definitions.
+func (ev *Evaluator) UnfoldDef(name string, f *Form) (*Form, bool) {
+	changed := false
+	var walkTerm func(t *Term) *Term
+	walkTerm = func(t *Term) *Term {
+		switch {
+		case t == nil || t.Var != "":
+			return t
+		case t.Match != nil:
+			cases := make([]MatchCase, len(t.Match.Cases))
+			for i, c := range t.Match.Cases {
+				cases[i] = MatchCase{Pat: c.Pat, RHS: walkTerm(c.RHS)}
+			}
+			return &Term{Match: &MatchExpr{Scrut: walkTerm(t.Match.Scrut), Cases: cases}}
+		default:
+			args := make([]*Term, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = walkTerm(a)
+			}
+			head := &Term{Fun: t.Fun, Args: args}
+			if fd, ok := ev.Env.Funs[t.Fun]; ok && t.Fun == name && len(args) == len(fd.Params) {
+				sub := make(Subst, len(fd.Params))
+				for i, p := range fd.Params {
+					sub[p.Name] = args[i]
+				}
+				changed = true
+				return fd.Body.ApplySubst(sub)
+			}
+			return head
+		}
+	}
+	var walk func(f *Form) *Form
+	walk = func(f *Form) *Form {
+		if f == nil {
+			return nil
+		}
+		switch f.Kind {
+		case FTrue, FFalse:
+			return f
+		case FEq:
+			return Eq(walkTerm(f.T1), walkTerm(f.T2))
+		case FPred:
+			args := make([]*Term, len(f.Args))
+			for i, a := range f.Args {
+				args[i] = walkTerm(a)
+			}
+			if f.Pred == name {
+				if def, ok := ev.Env.Defs[name]; ok && len(args) == len(def.Params) {
+					sub := make(Subst, len(def.Params))
+					for i, p := range def.Params {
+						sub[p.Name] = args[i]
+					}
+					changed = true
+					return def.Body.SubstTerm(sub)
+				}
+			}
+			return &Form{Kind: FPred, Pred: f.Pred, Args: args}
+		case FNot:
+			return Not(walk(f.L))
+		case FAnd, FOr, FImpl, FIff:
+			return &Form{Kind: f.Kind, L: walk(f.L), R: walk(f.R)}
+		case FForall, FExists:
+			return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: walk(f.Body)}
+		}
+		return f
+	}
+	out := walk(f)
+	return out, changed
+}

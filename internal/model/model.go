@@ -1,0 +1,809 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/prompt"
+	"llmfscq/internal/tactic"
+	"llmfscq/internal/textmetrics"
+)
+
+// Candidate is one proposed next tactic with its log-probability (the
+// best-first search accumulates these along paths, as in GPT-f).
+type Candidate struct {
+	Tactic  string
+	LogProb float64
+}
+
+// Model is a simulated LLM: a capability profile bound to an environment
+// (used only to parse the lemma statements that are visible in the prompt).
+type Model struct {
+	Profile Profile
+	Env     *kernel.Env
+}
+
+// New binds a profile to an environment.
+func New(p Profile, env *kernel.Env) *Model { return &Model{Profile: p, Env: env} }
+
+// scored is an internal candidate with its utility components.
+type scored struct {
+	text string
+	h    float64 // goal-directed heuristic (scaled by HeuristicSkill)
+	r    float64 // retrieval relevance (already skill-scaled)
+	j    float64 // raw utility (noise candidates compete unscaled)
+}
+
+// Propose generates up to MaxOutputs tactic candidates for the focused goal
+// of st. path is the proof-so-far (tactic sentences from the root), used by
+// the n-gram component; ng may be nil (vanilla prompts have no proofs to
+// mine). rng drives the sampling noise and must be owned by the caller for
+// determinism.
+func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *NGram, rng *rand.Rand) []Candidate {
+	if st.Done() || len(st.Goals) == 0 {
+		return nil
+	}
+	goal := st.Goals[0]
+	pool := m.structural(goal)
+	pool = append(pool, m.retrieval(p, goal, ng)...)
+
+	prev := "<start>"
+	if len(path) > 0 {
+		prev = textmetrics.NormalizeScript(path[len(path)-1])
+	}
+	// Idiomatic continuations mined from hint proofs, including two-step
+	// compounds ("a; b") that cover a whole idiom in one query.
+	if ng != nil {
+		for _, cont := range ng.Continuations(prev, 3) {
+			pool = append(pool, scored{text: cont, h: 0.9})
+		}
+		for _, pair := range ng.ContinuationPairs(prev, 3) {
+			pool = append(pool, scored{text: pair.Text, h: 1.1 + 0.25*math.Log1p(pair.Count)})
+		}
+	}
+	// Capability noise: corrupted names and junk tactics compete with the
+	// real candidates.
+	pool = append(pool, m.junk(goal, p, rng)...)
+
+	// Deduplicate, keeping the best-scored variant.
+	byText := map[string]int{}
+	var uniq []scored
+	for _, c := range pool {
+		key := strings.TrimSuffix(textmetrics.NormalizeScript(c.text), ".")
+		if key == "" {
+			continue
+		}
+		if idx, ok := byText[key]; ok {
+			if c.h > uniq[idx].h {
+				uniq[idx].h = c.h
+			}
+			if c.r > uniq[idx].r {
+				uniq[idx].r = c.r
+			}
+			if c.j > uniq[idx].j {
+				uniq[idx].j = c.j
+			}
+			continue
+		}
+		byText[key] = len(uniq)
+		uniq = append(uniq, scored{text: key, h: c.h, r: c.r, j: c.j})
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+
+	// Utilities -> temperature softmax. The MaxOutputs completions are
+	// sampled WITH replacement, like a real LLM's k independent samples:
+	// a confident model emits duplicates, shrinking the effective search
+	// width — the reason the paper sees far more "stuck" than "fuelout".
+	prof := m.Profile
+	utils := make([]float64, len(uniq))
+	maxU := math.Inf(-1)
+	for i, c := range uniq {
+		g := 0.0
+		if ng != nil {
+			g = ng.Score(prev, c.text)
+		}
+		u := 2.2*c.h*prof.HeuristicSkill + c.r + g*prof.HintBoost + c.j
+		utils[i] = u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	temp := prof.Temperature
+	if temp <= 0 {
+		temp = 0.01
+	}
+	probs := make([]float64, len(uniq))
+	var z float64
+	for i, u := range utils {
+		probs[i] = math.Exp((u - maxU) / temp)
+		z += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	// Gumbel-top-k selects MaxOutputs distinct candidates proportionally;
+	// confidence pruning then drops candidates far below the mode — a
+	// confident model's k samples concentrate and return fewer distinct
+	// tactics (why the paper sees more "stuck" than "fuelout").
+	keys := make([]float64, len(uniq))
+	for i, p := range probs {
+		keys[i] = math.Log(p) + gumbel(rng)
+	}
+	order := make([]int, len(uniq))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+	k := prof.MaxOutputs
+	if k > len(order) {
+		k = len(order)
+	}
+	order = order[:k]
+	pMax := 0.0
+	for _, idx := range order {
+		if probs[idx] > pMax {
+			pMax = probs[idx]
+		}
+	}
+	// Confidence pruning with a floor: k temperature samples from a real
+	// model concentrate when the distribution is peaked, but essentially
+	// never return fewer than a few distinct completions.
+	const confidencePrune = 0.12
+	const minSlate = 3
+	out := make([]Candidate, 0, k)
+	for rank, idx := range order {
+		if rank >= minSlate && probs[idx] < confidencePrune*pMax {
+			continue
+		}
+		out = append(out, Candidate{Tactic: uniq[idx].text, LogProb: math.Log(probs[idx])})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].LogProb > out[b].LogProb })
+	return out
+}
+
+// gumbel draws a standard Gumbel variate.
+func gumbel(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}
+
+// ---------------------------------------------------------------------------
+// Goal-directed enumeration
+
+// symbolsOf collects function, predicate, and constructor names in a form.
+func symbolsOf(f *kernel.Form, out map[string]bool) {
+	if f == nil {
+		return
+	}
+	var term func(t *kernel.Term)
+	term = func(t *kernel.Term) {
+		if t == nil {
+			return
+		}
+		t.Subterms(func(u *kernel.Term) bool {
+			if u.IsApp() && u.Fun != "" {
+				out[u.Fun] = true
+			}
+			return true
+		})
+	}
+	switch f.Kind {
+	case kernel.FEq:
+		term(f.T1)
+		term(f.T2)
+	case kernel.FPred:
+		out[f.Pred] = true
+		for _, a := range f.Args {
+			term(a)
+		}
+	case kernel.FNot:
+		symbolsOf(f.L, out)
+	case kernel.FAnd, kernel.FOr, kernel.FImpl, kernel.FIff:
+		symbolsOf(f.L, out)
+		symbolsOf(f.R, out)
+	case kernel.FForall, kernel.FExists:
+		symbolsOf(f.Body, out)
+	}
+}
+
+func conclHead(f *kernel.Form) string {
+	for f != nil {
+		switch f.Kind {
+		case kernel.FForall, kernel.FExists:
+			f = f.Body
+		case kernel.FImpl:
+			f = f.R
+		case kernel.FNot:
+			return "~"
+		case kernel.FPred:
+			return "P:" + f.Pred
+		case kernel.FEq:
+			return "="
+		case kernel.FAnd:
+			return "&"
+		case kernel.FOr:
+			return "|"
+		case kernel.FIff:
+			return "<>"
+		case kernel.FTrue:
+			return "T"
+		case kernel.FFalse:
+			return "F"
+		default:
+			return "?"
+		}
+	}
+	return "?"
+}
+
+func goalHead(f *kernel.Form) string {
+	switch f.Kind {
+	case kernel.FPred:
+		return "P:" + f.Pred
+	case kernel.FEq:
+		return "="
+	case kernel.FAnd:
+		return "&"
+	case kernel.FOr:
+		return "|"
+	case kernel.FIff:
+		return "<>"
+	case kernel.FNot:
+		return "~"
+	case kernel.FTrue:
+		return "T"
+	case kernel.FFalse:
+		return "F"
+	case kernel.FForall:
+		return "A"
+	case kernel.FExists:
+		return "E"
+	case kernel.FImpl:
+		return ">"
+	default:
+		return "?"
+	}
+}
+
+// looksArith reports whether a formula is plausibly linear arithmetic.
+func looksArith(f *kernel.Form) bool {
+	if f == nil {
+		return false
+	}
+	switch f.Kind {
+	case kernel.FPred:
+		return f.Pred == "le" || f.Pred == "lt"
+	case kernel.FEq:
+		arith := false
+		check := func(t *kernel.Term) {
+			t.Subterms(func(u *kernel.Term) bool {
+				if u.IsApp() && (u.Fun == "plus" || u.Fun == "minus" || u.Fun == "S" || u.Fun == "O" || u.Fun == "mult") {
+					arith = true
+					return false
+				}
+				return true
+			})
+		}
+		check(f.T1)
+		check(f.T2)
+		return arith
+	case kernel.FNot:
+		return looksArith(f.L)
+	case kernel.FFalse:
+		return true
+	}
+	return false
+}
+
+func (m *Model) structural(g *tactic.Goal) []scored {
+	var out []scored
+	add := func(text string, h float64) { out = append(out, scored{text: text, h: h}) }
+	c := g.Concl
+
+	switch c.Kind {
+	case kernel.FForall, kernel.FImpl:
+		add("intros.", 2.6)
+	case kernel.FNot:
+		add("intro.", 2.2)
+	case kernel.FAnd:
+		add("split.", 2.5)
+	case kernel.FIff:
+		add("split.", 2.2)
+	case kernel.FOr:
+		add("left.", 1.1)
+		add("right.", 1.0)
+	case kernel.FTrue:
+		add("constructor.", 3.0)
+	case kernel.FFalse:
+		add("contradiction.", 1.4)
+	case kernel.FEq:
+		add("reflexivity.", 2.1)
+		add("simpl.", 1.4)
+		add("symmetry.", 0.2)
+		add("congruence.", 0.6)
+		if c.T1.IsApp() && c.T2.IsApp() && c.T1.Fun == c.T2.Fun && len(c.T1.Args) == len(c.T2.Args) {
+			add("f_equal.", 1.0)
+		}
+	case kernel.FExists:
+		for _, v := range g.Vars {
+			if c.BType == nil || v.Type == nil || v.Type.Name == c.BType.Name {
+				add(fmt.Sprintf("exists %s.", v.Name), 1.5)
+			}
+		}
+		add("exists 0.", 0.6)
+		add("exists nil.", 0.5)
+	case kernel.FPred:
+		if _, isInd := m.Env.Preds[c.Pred]; isInd {
+			add("constructor.", 1.7)
+			add("econstructor.", 1.0)
+		}
+		if _, isDef := m.Env.Defs[c.Pred]; isDef {
+			add(fmt.Sprintf("unfold %s.", c.Pred), 1.8)
+		}
+	}
+
+	arithHyps := false
+	for _, h := range g.Hyps {
+		if looksArith(h.Form) {
+			arithHyps = true
+			break
+		}
+	}
+	switch {
+	case looksArith(c) && arithHyps:
+		add("omega.", 1.9)
+	case looksArith(c):
+		add("omega.", 1.3)
+	case arithHyps && (c.Kind == kernel.FEq || c.Kind == kernel.FFalse || c.Kind == kernel.FNot || c.Kind == kernel.FPred):
+		add("omega.", 1.4)
+	}
+	add("auto.", 1.2)
+	add("eauto.", 0.9)
+
+	// Hypothesis-directed moves.
+	substUseful := false
+	gh := goalHead(c)
+	for _, h := range g.Hyps {
+		switch h.Form.Kind {
+		case kernel.FFalse:
+			add("contradiction.", 3.0)
+		case kernel.FAnd, kernel.FExists, kernel.FOr:
+			add(fmt.Sprintf("destruct %s.", h.Name), 1.6)
+			add(fmt.Sprintf("inversion %s.", h.Name), 0.6)
+		case kernel.FIff:
+			add(fmt.Sprintf("destruct %s.", h.Name), 1.2)
+		case kernel.FEq:
+			if h.Form.T1.IsVar() || h.Form.T2.IsVar() {
+				substUseful = true
+			}
+			add(fmt.Sprintf("rewrite %s.", h.Name), 1.1)
+			add(fmt.Sprintf("rewrite <- %s.", h.Name), 0.5)
+			add(fmt.Sprintf("rewrite %s in *.", h.Name), 0.1) // unsupported form: realistic junk
+			if h.Form.T1.IsApp() && h.Form.T2.IsApp() && m.Env.IsConstructor(h.Form.T1.Fun) && m.Env.IsConstructor(h.Form.T2.Fun) {
+				if h.Form.T1.Fun != h.Form.T2.Fun {
+					add(fmt.Sprintf("discriminate %s.", h.Name), 2.6)
+				} else {
+					add(fmt.Sprintf("inversion %s.", h.Name), 1.6)
+				}
+			}
+			add(fmt.Sprintf("simpl in %s.", h.Name), 0.5)
+		case kernel.FPred:
+			if _, isInd := m.Env.Preds[h.Form.Pred]; isInd {
+				w := 1.0
+				for _, a := range h.Form.Args {
+					if a.IsApp() && m.Env.IsConstructor(a.Fun) {
+						w = 1.8
+						break
+					}
+				}
+				add(fmt.Sprintf("inversion %s.", h.Name), w)
+				add(fmt.Sprintf("induction %s.", h.Name), 0.8)
+			}
+			if _, isDef := m.Env.Defs[h.Form.Pred]; isDef {
+				add(fmt.Sprintf("unfold %s in %s.", h.Form.Pred, h.Name), 1.4)
+			}
+			add(fmt.Sprintf("simpl in %s.", h.Name), 0.4)
+		case kernel.FForall, kernel.FImpl:
+			if conclHead(h.Form) == gh {
+				add(fmt.Sprintf("apply %s.", h.Name), 1.9)
+				add(fmt.Sprintf("eapply %s.", h.Name), 1.1)
+			} else {
+				add(fmt.Sprintf("apply %s.", h.Name), 0.5)
+			}
+			// Quantified equations (induction hypotheses above all) are
+			// rewriting material.
+			if conclHead(h.Form) == "=" {
+				w := 1.4
+				if strings.HasPrefix(h.Name, "IH") {
+					w = 2.1
+				}
+				add(fmt.Sprintf("rewrite %s.", h.Name), w)
+				add(fmt.Sprintf("rewrite <- %s.", h.Name), 0.4*w)
+			}
+		case kernel.FNot:
+			if c.Kind == kernel.FFalse {
+				add(fmt.Sprintf("apply %s.", h.Name), 2.0)
+			}
+		}
+		if h.Form.Fingerprint() == c.Fingerprint() {
+			add("assumption.", 3.2)
+		}
+	}
+	if substUseful {
+		add("subst.", 1.9)
+	}
+
+	// Variable-directed induction/destruct. A variable scrutinized by a
+	// recursive function in the goal is the prime induction candidate.
+	goalVars := c.FreeVars()
+	recArgs := m.recursiveArgVars(c)
+	for _, v := range g.Vars {
+		if v.Type == nil || v.Type.TVar {
+			continue
+		}
+		if _, isData := m.Env.Datatypes[v.Type.Name]; !isData {
+			continue
+		}
+		switch {
+		case recArgs[v.Name]:
+			add(fmt.Sprintf("induction %s.", v.Name), 2.2)
+			add(fmt.Sprintf("destruct %s.", v.Name), 1.0)
+		case goalVars[v.Name]:
+			add(fmt.Sprintf("induction %s.", v.Name), 1.1)
+			add(fmt.Sprintf("destruct %s.", v.Name), 0.9)
+		default:
+			add(fmt.Sprintf("destruct %s.", v.Name), 0.1)
+		}
+	}
+	// Induction on a not-yet-introduced leading binder (skipping type
+	// binders, which are not inductive).
+	if c.Kind == kernel.FForall {
+		body := c
+		seen := 0
+		for body != nil && body.Kind == kernel.FForall && seen < 3 {
+			if !body.BType.IsType() {
+				w := 1.0
+				if recArgs[body.Binder] {
+					w = 2.0
+				}
+				add(fmt.Sprintf("induction %s.", body.Binder), w)
+				seen++
+			}
+			body = body.Body
+		}
+	}
+
+	// simpl when computation is visible.
+	syms := map[string]bool{}
+	symbolsOf(c, syms)
+	for s := range syms {
+		if _, isFun := m.Env.Funs[s]; isFun {
+			add("simpl.", 1.3)
+			break
+		}
+	}
+
+	// Stuck matches invite case analysis on the scrutinee (the
+	// `destruct (eqb a n) eqn:He` idiom).
+	for _, scrut := range stuckScrutinees(c, 2) {
+		add(fmt.Sprintf("destruct (%s) eqn:He.", scrut), 2.0)
+	}
+	for _, h := range g.Hyps {
+		for _, scrut := range stuckScrutinees(h.Form, 1) {
+			add(fmt.Sprintf("destruct (%s) eqn:He.", scrut), 1.3)
+		}
+	}
+
+	// Targeted rewriting: an equation hypothesis whose left-hand side
+	// occurs in another hypothesis or in the goal.
+	for _, e := range g.Hyps {
+		if e.Form.Kind != kernel.FEq || !e.Form.T1.IsApp() || len(e.Form.T1.Args) == 0 {
+			continue
+		}
+		lhs := e.Form.T1
+		if formContainsTerm(c, lhs) {
+			add(fmt.Sprintf("rewrite %s.", e.Name), 2.0)
+		}
+		for _, h := range g.Hyps {
+			if h.Name == e.Name {
+				continue
+			}
+			if formContainsTerm(h.Form, lhs) {
+				add(fmt.Sprintf("rewrite %s in %s.", e.Name, h.Name), 1.8)
+			}
+		}
+	}
+	return out
+}
+
+// stuckScrutinees collects the printable scrutinees of up to max stuck
+// matches in a formula.
+func stuckScrutinees(f *kernel.Form, max int) []string {
+	var out []string
+	var scanTerm func(t *kernel.Term)
+	scanTerm = func(t *kernel.Term) {
+		t.Subterms(func(u *kernel.Term) bool {
+			if len(out) >= max {
+				return false
+			}
+			if u.Match != nil && !u.Match.Scrut.IsVar() {
+				// Only propose scrutinees that print as plain applications.
+				if u.Match.Scrut.IsApp() {
+					out = append(out, u.Match.Scrut.String())
+				}
+			}
+			return true
+		})
+	}
+	var walk func(f *kernel.Form)
+	walk = func(f *kernel.Form) {
+		if f == nil || len(out) >= max {
+			return
+		}
+		switch f.Kind {
+		case kernel.FEq:
+			scanTerm(f.T1)
+			scanTerm(f.T2)
+		case kernel.FPred:
+			for _, a := range f.Args {
+				scanTerm(a)
+			}
+		case kernel.FNot:
+			walk(f.L)
+		case kernel.FAnd, kernel.FOr, kernel.FImpl, kernel.FIff:
+			walk(f.L)
+			walk(f.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// formContainsTerm reports whether t occurs in any term position of f.
+func formContainsTerm(f *kernel.Form, t *kernel.Term) bool {
+	found := false
+	check := func(u *kernel.Term) {
+		if found {
+			return
+		}
+		u.Subterms(func(x *kernel.Term) bool {
+			if x.Equal(t) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	var walk func(f *kernel.Form)
+	walk = func(f *kernel.Form) {
+		if f == nil || found {
+			return
+		}
+		switch f.Kind {
+		case kernel.FEq:
+			check(f.T1)
+			check(f.T2)
+		case kernel.FPred:
+			for _, a := range f.Args {
+				check(a)
+			}
+		case kernel.FNot:
+			walk(f.L)
+		case kernel.FAnd, kernel.FOr, kernel.FImpl, kernel.FIff:
+			walk(f.L)
+			walk(f.R)
+		case kernel.FForall, kernel.FExists:
+			walk(f.Body)
+		}
+	}
+	walk(f)
+	return found
+}
+
+// recursiveArgVars returns the variables that occur as arguments of
+// recursive function applications anywhere in the formula — the natural
+// induction candidates.
+func (m *Model) recursiveArgVars(f *kernel.Form) map[string]bool {
+	out := map[string]bool{}
+	var scanTerm func(t *kernel.Term)
+	scanTerm = func(t *kernel.Term) {
+		t.Subterms(func(u *kernel.Term) bool {
+			if u.IsApp() {
+				if fd, ok := m.Env.Funs[u.Fun]; ok && fd.Recursive {
+					for _, a := range u.Args {
+						if a.IsVar() {
+							out[a.Var] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	var walk func(f *kernel.Form)
+	walk = func(f *kernel.Form) {
+		if f == nil {
+			return
+		}
+		switch f.Kind {
+		case kernel.FEq:
+			scanTerm(f.T1)
+			scanTerm(f.T2)
+		case kernel.FPred:
+			for _, a := range f.Args {
+				scanTerm(a)
+			}
+		case kernel.FNot:
+			walk(f.L)
+		case kernel.FAnd, kernel.FOr, kernel.FImpl, kernel.FIff:
+			walk(f.L)
+			walk(f.R)
+		case kernel.FForall, kernel.FExists:
+			walk(f.Body)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Retrieval from the visible prompt
+
+func (m *Model) retrieval(p *prompt.Prompt, g *tactic.Goal, ng *NGram) []scored {
+	var out []scored
+	goalSyms := map[string]bool{}
+	symbolsOf(g.Concl, goalSyms)
+	hypSyms := map[string]bool{}
+	for _, h := range g.Hyps {
+		symbolsOf(h.Form, hypSyms)
+	}
+	gh := goalHead(g.Concl)
+	prof := m.Profile
+
+	n := len(p.Items)
+	for i, it := range p.Items {
+		if it.Kind != corpus.ItemLemma {
+			continue
+		}
+		lem, ok := m.Env.Lemmas[it.Name]
+		if !ok {
+			continue
+		}
+		dist := float64(n - 1 - i)
+		decay := math.Exp2(-dist / prof.DistractionHalfLife)
+		quality := prof.RetrievalSkill * decay
+		// Usage statistics from hint proofs: lemmas the humans applied
+		// often are much easier for the model to surface.
+		usage := 0.0
+		if ng != nil {
+			usage = math.Log1p(ng.NameUsage(it.Name))
+		}
+
+		_, matrix := lem.Stmt.StripForalls()
+		prems, concl := matrix.StripImpls()
+
+		lemSyms := map[string]bool{}
+		symbolsOf(lem.Stmt, lemSyms)
+		overlap := 0.0
+		for s := range lemSyms {
+			if goalSyms[s] {
+				overlap += 1.0
+			} else if hypSyms[s] {
+				overlap += 0.4
+			}
+		}
+		if len(lemSyms) > 0 {
+			overlap /= math.Sqrt(float64(len(lemSyms)))
+		}
+
+		rel := (overlap + 1.6*usage) * quality
+		if concl.Kind == kernel.FEq {
+			// Equation: rewriting material.
+			lhsHead := ""
+			if concl.T1.IsApp() {
+				lhsHead = concl.T1.Fun
+			}
+			w := rel
+			if lhsHead != "" && goalSyms[lhsHead] {
+				w += 1.3 * quality
+			}
+			out = append(out, scored{text: fmt.Sprintf("rewrite %s.", it.Name), r: w})
+			out = append(out, scored{text: fmt.Sprintf("rewrite <- %s.", it.Name), r: 0.4 * w})
+			if lhsHead != "" && hypSyms[lhsHead] {
+				for _, h := range g.Hyps {
+					hs := map[string]bool{}
+					symbolsOf(h.Form, hs)
+					if hs[lhsHead] {
+						out = append(out, scored{text: fmt.Sprintf("rewrite %s in %s.", it.Name, h.Name), r: 0.8 * w})
+						break
+					}
+				}
+			}
+		}
+		if hk := goalHead(concl); hk == gh {
+			w := rel + 1.1*quality
+			out = append(out, scored{text: fmt.Sprintf("apply %s.", it.Name), r: w})
+			if len(prems) > 0 {
+				out = append(out, scored{text: fmt.Sprintf("eapply %s.", it.Name), r: 0.7 * w})
+			}
+		} else if overlap > 0.5 {
+			out = append(out, scored{text: fmt.Sprintf("apply %s.", it.Name), r: 0.3 * rel})
+		}
+		// Forward chaining into a matching hypothesis.
+		if len(prems) > 0 {
+			ph := goalHead(stripQuant(prems[0]))
+			for _, h := range g.Hyps {
+				if goalHead(h.Form) == ph && ph != "?" {
+					out = append(out, scored{text: fmt.Sprintf("apply %s in %s.", it.Name, h.Name), r: 0.5 * rel})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func stripQuant(f *kernel.Form) *kernel.Form {
+	for f != nil && f.Kind == kernel.FForall {
+		f = f.Body
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Noise
+
+var junkTactics = []string{
+	"ring.", "field.", "firstorder.", "tauto.", "cbv.", "trivial.",
+	"intuition.", "easy.", "now auto.", "simpl in *.",
+}
+
+func (m *Model) junk(g *tactic.Goal, p *prompt.Prompt, rng *rand.Rand) []scored {
+	prof := m.Profile
+	nJunk := int(math.Round(prof.NoiseRate * 10))
+	var out []scored
+	level := 3.4 * prof.NoiseRate
+	for i := 0; i < nJunk; i++ {
+		u := (0.4 + rng.Float64()) * level
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, scored{text: junkTactics[rng.Intn(len(junkTactics))], j: u})
+		case 1:
+			// Apply a random visible lemma regardless of relevance.
+			if name := randomLemma(p, rng); name != "" {
+				out = append(out, scored{text: fmt.Sprintf("apply %s.", name), j: u})
+			}
+		case 2:
+			if name := randomLemma(p, rng); name != "" {
+				out = append(out, scored{text: fmt.Sprintf("rewrite %s.", name), j: u})
+			}
+		default:
+			// Reference a plausible but possibly absent hypothesis.
+			out = append(out, scored{text: fmt.Sprintf("apply H%d.", rng.Intn(9)), j: u})
+		}
+	}
+	return out
+}
+
+func randomLemma(p *prompt.Prompt, rng *rand.Rand) string {
+	var names []string
+	for _, it := range p.Items {
+		if it.Kind == corpus.ItemLemma {
+			names = append(names, it.Name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	return names[rng.Intn(len(names))]
+}

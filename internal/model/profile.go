@@ -1,0 +1,108 @@
+// Package model implements the simulated LLM that stands in for the
+// paper's GPT-4o / Gemini 1.5 tactic proposers. Given a prompt (the proof
+// context after window truncation), the focused goal, and the proof-so-far,
+// it emits up to MaxOutputs tactic candidates with log-probabilities.
+//
+// The mechanism is a mixture of:
+//   - goal-directed tactic enumeration (what a competent prover "knows"),
+//   - lemma retrieval restricted to statements visible in the prompt, with
+//     position-dependent degradation ("lost in the middle"),
+//   - an n-gram model over the human proofs included in hint-setting
+//     prompts (why hints help), and
+//   - capability-dependent noise (wrong names, junk tactics).
+//
+// Capability profiles are calibrated so the *shape* of the paper's results
+// emerges: model ordering, hint gains, proof-length decay, and the 1M vs
+// 128k context non-monotonicity.
+package model
+
+// Profile captures one off-the-shelf model's simulated capabilities.
+type Profile struct {
+	Name string
+	// ContextWindow is the prompt budget in tokens (0 = unlimited).
+	ContextWindow int
+	// MaxOutputs bounds candidates per query (the paper uses 8, the Gemini
+	// API maximum).
+	MaxOutputs int
+	// HeuristicSkill in [0,1] scales the quality of goal-directed tactic
+	// selection.
+	HeuristicSkill float64
+	// RetrievalSkill in [0,1] scales the ability to surface the relevant
+	// lemma from the context.
+	RetrievalSkill float64
+	// HintBoost scales how much the model exploits human proofs present in
+	// the prompt (n-gram guidance).
+	HintBoost float64
+	// Temperature scales the sampling noise on candidate utilities.
+	Temperature float64
+	// NoiseRate is the probability that a slot is corrupted into a
+	// plausible-but-wrong candidate.
+	NoiseRate float64
+	// DistractionHalfLife is the context distance (in items from the end)
+	// at which retrieval quality halves — the "lost in the middle" knob.
+	DistractionHalfLife float64
+}
+
+// The paper's four evaluated models plus the truncated-context variant.
+var (
+	GPT4oMini = Profile{
+		Name:                "GPT-4o mini",
+		ContextWindow:       128000,
+		MaxOutputs:          8,
+		HeuristicSkill:      0.17,
+		RetrievalSkill:      0.10,
+		HintBoost:           1.2,
+		Temperature:         1.5,
+		NoiseRate:           0.65,
+		DistractionHalfLife: 80,
+	}
+	GPT4o = Profile{
+		Name:                "GPT-4o",
+		ContextWindow:       128000,
+		MaxOutputs:          8,
+		HeuristicSkill:      0.60,
+		RetrievalSkill:      0.48,
+		HintBoost:           1.2,
+		Temperature:         0.7,
+		NoiseRate:           0.2,
+		DistractionHalfLife: 240,
+	}
+	GeminiFlash = Profile{
+		Name:                "Gemini 1.5 Flash",
+		ContextWindow:       1000000,
+		MaxOutputs:          8,
+		HeuristicSkill:      0.30,
+		RetrievalSkill:      0.15,
+		HintBoost:           1.4,
+		Temperature:         1.3,
+		NoiseRate:           0.5,
+		DistractionHalfLife: 110,
+	}
+	GeminiPro = Profile{
+		Name:                "Gemini 1.5 Pro",
+		ContextWindow:       1000000,
+		MaxOutputs:          8,
+		HeuristicSkill:      0.42,
+		RetrievalSkill:      0.24,
+		HintBoost:           1.3,
+		Temperature:         0.9,
+		NoiseRate:           0.35,
+		DistractionHalfLife: 160,
+	}
+	GeminiPro128k = Profile{
+		Name:                "Gemini 1.5 Pro (128k context)",
+		ContextWindow:       128000,
+		MaxOutputs:          8,
+		HeuristicSkill:      0.42,
+		RetrievalSkill:      0.24,
+		HintBoost:           1.3,
+		Temperature:         0.9,
+		NoiseRate:           0.35,
+		DistractionHalfLife: 160,
+	}
+)
+
+// Paper lists the profiles in the paper's Table 2 row order.
+func Paper() []Profile {
+	return []Profile{GPT4oMini, GPT4o, GeminiFlash, GeminiPro, GeminiPro128k}
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"math/rand"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/prompt"
+	"llmfscq/internal/tactic"
+)
+
+// WholeProof simulates a reasoning model generating a complete proof in a
+// single pass, without interacting with the proof assistant — the mode the
+// paper probes with o1 variants in §4.3. The characteristic failure the
+// paper reports is reproduced mechanically: the model "seems to lack
+// awareness of the proof progress during intermediate steps" and "may
+// incorrectly assume that a subgoal is simple enough to be closed", so
+// when a generated tactic would actually fail, the model (with probability
+// scaled by its skill) does not notice and keeps writing the rest of the
+// proof from an imagined state in which that subgoal is finished.
+//
+// The returned script must be checked by the caller; blind continuation
+// almost always yields a script that fails replay.
+func (m *Model) WholeProof(p *prompt.Prompt, stmt *kernel.Form, ng *NGram, rng *rand.Rand, maxSteps int) []string {
+	if maxSteps <= 0 {
+		maxSteps = 24
+	}
+	believed := tactic.NewState(m.Env, stmt)
+	var script []string
+	var path []string
+	for step := 0; step < maxSteps && !believed.Done(); step++ {
+		cands := m.Propose(p, believed, path, ng, rng)
+		if len(cands) == 0 {
+			break
+		}
+		// A single completion commits to its first sample; there is no
+		// checker to branch on.
+		tac := cands[0].Tactic
+		res := checker.TryTactic(believed, tac)
+		switch res.Status {
+		case checker.Applied:
+			believed = res.State
+			script = append(script, tac)
+			path = append(path, tac)
+		default:
+			// The tactic would fail — but there is no proof assistant in
+			// the loop to say so. With probability scaling in its skill the
+			// model senses the derailment and truncates (an incomplete
+			// proof); otherwise it assumes the focused subgoal was simple
+			// enough to be closed and keeps writing from that imagined
+			// state. Either way the attempt is doomed; only roll-outs whose
+			// every greedy sample is genuinely valid survive the final
+			// check.
+			if rng.Float64() < 0.3+0.4*m.Profile.HeuristicSkill {
+				return script
+			}
+			script = append(script, tac)
+			path = append(path, tac)
+			believed = &tactic.State{Env: believed.Env, Goals: believed.Goals[1:]}
+		}
+	}
+	return script
+}

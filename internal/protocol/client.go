@@ -1,0 +1,163 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/sexp"
+)
+
+// Client drives a remote proof-checker session over the wire protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a checker daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close quits the session and closes the connection.
+func (c *Client) Close() error {
+	_ = WriteMsg(c.conn, sexp.L(sexp.Sym("Quit")))
+	return c.conn.Close()
+}
+
+// roundTrip sends a request and returns the answer payload.
+func (c *Client) roundTrip(req *sexp.Node) (*sexp.Node, error) {
+	if err := WriteMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	ans, err := ReadMsg(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if ans.Head() != "Answer" || len(ans.List) < 3 {
+		return nil, fmt.Errorf("protocol: malformed answer %s", ans)
+	}
+	payload := ans.Nth(2)
+	if payload.Head() == "Error" {
+		return nil, fmt.Errorf("protocol: %s", payload.Nth(1).Atom)
+	}
+	return payload, nil
+}
+
+// NewDocLemma opens a proof of a corpus lemma; the server restricts the
+// environment to declarations before it.
+func (c *Client) NewDocLemma(name string) (stmt string, err error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("NewDoc"), sexp.L(sexp.Sym("Lemma"), sexp.Sym(name))))
+	if err != nil {
+		return "", err
+	}
+	return p.Nth(1).Atom, nil
+}
+
+// NewDocStmt opens a proof of an arbitrary statement in surface syntax.
+func (c *Client) NewDocStmt(src string) (stmt string, err error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("NewDoc"), sexp.L(sexp.Sym("Stmt"), sexp.Str(src))))
+	if err != nil {
+		return "", err
+	}
+	return p.Nth(1).Atom, nil
+}
+
+// ExecResult is the remote analogue of checker.Result.
+type ExecResult struct {
+	Status   checker.Status
+	NumGoals int
+	Proved   bool
+	Message  string
+}
+
+// Exec runs one tactic sentence.
+func (c *Client) Exec(sentence string) (ExecResult, error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Exec"), sexp.Str(sentence)))
+	if err != nil {
+		return ExecResult{}, err
+	}
+	switch p.Head() {
+	case "Proved":
+		return ExecResult{Status: checker.Applied, Proved: true}, nil
+	case "Applied":
+		n, _ := p.Nth(1).Nth(1).AsInt()
+		return ExecResult{Status: checker.Applied, NumGoals: n}, nil
+	case "Timeout":
+		return ExecResult{Status: checker.Timeout}, nil
+	case "Rejected":
+		return ExecResult{Status: checker.Rejected, Message: p.Nth(1).Atom}, nil
+	}
+	return ExecResult{}, fmt.Errorf("protocol: unexpected payload %s", p)
+}
+
+// Cancel rolls back to n executed sentences.
+func (c *Client) Cancel(n int) error {
+	_, err := c.roundTrip(sexp.L(sexp.Sym("Cancel"), sexp.Int(n)))
+	return err
+}
+
+// Goals returns the pretty-printed current goals.
+func (c *Client) Goals() (string, error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Query"), sexp.Sym("Goals")))
+	if err != nil {
+		return "", err
+	}
+	return p.Nth(1).Atom, nil
+}
+
+// Fingerprint returns the canonical state fingerprint.
+func (c *Client) Fingerprint() (string, error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Query"), sexp.Sym("Fingerprint")))
+	if err != nil {
+		return "", err
+	}
+	return p.Nth(1).Atom, nil
+}
+
+// Script returns the executed sentences joined with spaces.
+func (c *Client) Script() (string, error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Query"), sexp.Sym("Script")))
+	if err != nil {
+		return "", err
+	}
+	return p.Nth(1).Atom, nil
+}
+
+// Add parses and queues a sentence on the server (STM Add); a bare
+// ExecQueue drains the queue.
+func (c *Client) Add(sentence string) error {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Add"), sexp.Str(sentence)))
+	if err != nil {
+		return err
+	}
+	if p.Head() == "Rejected" {
+		return fmt.Errorf("protocol: %s", p.Nth(1).Atom)
+	}
+	return nil
+}
+
+// ExecQueue executes the server-side Add queue until empty or failure.
+func (c *Client) ExecQueue() (ExecResult, error) {
+	p, err := c.roundTrip(sexp.L(sexp.Sym("Exec")))
+	if err != nil {
+		return ExecResult{}, err
+	}
+	switch p.Head() {
+	case "Proved":
+		return ExecResult{Status: checker.Applied, Proved: true}, nil
+	case "Applied":
+		n, _ := p.Nth(1).Nth(1).AsInt()
+		return ExecResult{Status: checker.Applied, NumGoals: n}, nil
+	case "Timeout":
+		return ExecResult{Status: checker.Timeout}, nil
+	case "Rejected":
+		return ExecResult{Status: checker.Rejected, Message: p.Nth(1).Atom}, nil
+	}
+	return ExecResult{}, fmt.Errorf("protocol: unexpected payload %s", p)
+}

@@ -1,0 +1,67 @@
+// Package protocol implements the S-expression wire protocol between the
+// search engine and the proof checker — the stand-in for SerAPI on top of
+// Coq's STM. Messages are newline-delimited S-expressions.
+//
+// Requests:
+//
+//	(NewDoc (Lemma "name"))        open a proof of a corpus lemma, with the
+//	                               environment restricted to declarations
+//	                               before it (no self-application)
+//	(NewDoc (Stmt "forall ..."))   open a proof of a parsed statement
+//	(Exec "tactic.")               execute one tactic sentence at the tip
+//	(Cancel n)                     roll back to n executed sentences
+//	(Query Goals)                  pretty-printed goals
+//	(Query Fingerprint)            canonical state fingerprint
+//	(Query Script)                 executed sentences
+//	(Quit)                         close the connection
+//
+// Answers:
+//
+//	(Answer k (Applied (Goals n)))
+//	(Answer k (Proved))
+//	(Answer k (Rejected "message"))
+//	(Answer k (Timeout))
+//	(Answer k (Goals "text")) / (Answer k (Fingerprint "fp")) / ...
+//	(Answer k (Error "message"))
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"llmfscq/internal/sexp"
+)
+
+// WriteMsg writes one S-expression message followed by a newline.
+func WriteMsg(w io.Writer, n *sexp.Node) error {
+	_, err := io.WriteString(w, n.String()+"\n")
+	return err
+}
+
+// ReadMsg reads one newline-delimited S-expression message.
+func ReadMsg(r *bufio.Reader) (*sexp.Node, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			// fallthrough: parse the final unterminated line
+		} else if err != nil && len(line) == 0 {
+			return nil, err
+		}
+	}
+	node, _, perr := sexp.Parse(line)
+	if perr != nil {
+		return nil, fmt.Errorf("protocol: bad message %q: %w", line, perr)
+	}
+	return node, nil
+}
+
+// Answer builds an (Answer k payload) message.
+func Answer(k int, payload *sexp.Node) *sexp.Node {
+	return sexp.L(sexp.Sym("Answer"), sexp.Int(k), payload)
+}
+
+// ErrorAnswer builds an (Answer k (Error "msg")) message.
+func ErrorAnswer(k int, msg string) *sexp.Node {
+	return Answer(k, sexp.L(sexp.Sym("Error"), sexp.Str(msg)))
+}

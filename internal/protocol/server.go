@@ -1,0 +1,227 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/sexp"
+	"llmfscq/internal/syntax"
+)
+
+// Server serves the proof-checker protocol over TCP. Each connection holds
+// one session (one open proof document at a time).
+type Server struct {
+	Env *kernel.Env
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer builds a server over an environment (typically the loaded
+// corpus environment).
+func NewServer(env *kernel.Env) *Server { return &Server{Env: env} }
+
+// Listen binds the address and returns the chosen address (useful with
+// ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("protocol: server not listening")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// restrictBefore returns the environment restricted to declarations before
+// the named lemma, so a session cannot apply the lemma it is proving.
+func restrictBefore(env *kernel.Env, name string) *kernel.Env {
+	out := env.Clone()
+	cut := -1
+	for i, n := range env.LemmaOrder {
+		if n == name {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return out
+	}
+	removed := map[string]bool{}
+	for _, n := range env.LemmaOrder[cut:] {
+		removed[n] = true
+		delete(out.Lemmas, n)
+	}
+	out.LemmaOrder = append([]string(nil), env.LemmaOrder[:cut]...)
+	var hints []string
+	for _, h := range out.HintOrder {
+		if removed[h] {
+			delete(out.Hints, h)
+			continue
+		}
+		hints = append(hints, h)
+	}
+	out.HintOrder = hints
+	return out
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var session *checker.Session
+	seq := 0
+	reply := func(payload *sexp.Node) {
+		_ = WriteMsg(conn, Answer(seq, payload))
+	}
+	for {
+		msg, err := ReadMsg(r)
+		if err != nil {
+			return
+		}
+		seq++
+		switch msg.Head() {
+		case "Quit":
+			reply(sexp.L(sexp.Sym("Bye")))
+			return
+		case "NewDoc":
+			spec := msg.Nth(1)
+			switch spec.Head() {
+			case "Lemma":
+				name := spec.Nth(1).Atom
+				lem, ok := s.Env.Lemmas[name]
+				if !ok {
+					reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown lemma "+name)))
+					continue
+				}
+				session = checker.NewSession(restrictBefore(s.Env, name), lem.Stmt)
+				reply(sexp.L(sexp.Sym("DocCreated"), sexp.Str(lem.Stmt.String())))
+			case "Stmt":
+				src := spec.Nth(1).Atom
+				p, err := syntax.NewParserString(src)
+				if err != nil {
+					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
+					continue
+				}
+				raw, err := p.ParseForm()
+				if err != nil {
+					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
+					continue
+				}
+				stmt, err := syntax.ResolveForm(s.Env, raw, map[string]bool{})
+				if err != nil {
+					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
+					continue
+				}
+				session = checker.NewSession(s.Env, stmt)
+				reply(sexp.L(sexp.Sym("DocCreated"), sexp.Str(stmt.String())))
+			default:
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("NewDoc expects (Lemma name) or (Stmt text)")))
+			}
+		case "Add":
+			if session == nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
+				continue
+			}
+			arg := msg.Nth(1)
+			if arg == nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("Add expects a tactic string")))
+				continue
+			}
+			if err := session.Add(arg.Atom); err != nil {
+				reply(sexp.L(sexp.Sym("Rejected"), sexp.Str(err.Error())))
+				continue
+			}
+			reply(sexp.L(sexp.Sym("Added"), sexp.Int(session.Queued())))
+		case "Exec":
+			if session == nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
+				continue
+			}
+			arg := msg.Nth(1)
+			var res checker.Result
+			if arg == nil {
+				// Bare Exec drains the Add queue, STM style.
+				res = session.ExecQueued()
+			} else {
+				res = session.Exec(arg.Atom)
+			}
+			switch res.Status {
+			case checker.Applied:
+				if session.Proved() {
+					reply(sexp.L(sexp.Sym("Proved")))
+				} else {
+					reply(sexp.L(sexp.Sym("Applied"), sexp.L(sexp.Sym("Goals"), sexp.Int(res.NumGoals))))
+				}
+			case checker.Timeout:
+				reply(sexp.L(sexp.Sym("Timeout")))
+			default:
+				reply(sexp.L(sexp.Sym("Rejected"), sexp.Str(res.Err.Error())))
+			}
+		case "Cancel":
+			if session == nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
+				continue
+			}
+			n, err := msg.Nth(1).AsInt()
+			if err != nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("Cancel expects an integer")))
+				continue
+			}
+			if err := session.Cancel(n); err != nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
+				continue
+			}
+			reply(sexp.L(sexp.Sym("Cancelled"), sexp.Int(session.Len())))
+		case "Query":
+			if session == nil {
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
+				continue
+			}
+			switch {
+			case msg.Nth(1).IsSym("Goals"):
+				reply(sexp.L(sexp.Sym("Goals"), sexp.Str(session.Goals())))
+			case msg.Nth(1).IsSym("Fingerprint"):
+				reply(sexp.L(sexp.Sym("Fingerprint"), sexp.Str(session.Fingerprint())))
+			case msg.Nth(1).IsSym("Script"):
+				reply(sexp.L(sexp.Sym("Script"), sexp.Str(strings.Join(session.Script(), " "))))
+			default:
+				reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown query")))
+			}
+		default:
+			reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown command "+msg.Head())))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package syntax implements the Coq-flavoured surface language of the
+// corpus: a lexer and recursive-descent parsers for terms, formulas, types,
+// vernacular declarations (Inductive / Fixpoint / Definition / Lemma / Hint /
+// Require Import) and tactic sentences.
+package syntax
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNumber
+	TSym // punctuation / operator, text in Tok.Text
+)
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the source, for error messages
+	Line int
+}
+
+// symbols in maximal-munch order.
+var symbols = []string{
+	"<->", ":=", "=>", "->", "<-", "<>", "<=", "++", "::", "/\\", "\\/", "||",
+	"(", ")", "[", "]", "{", "}", ",", ".", ";", ":", "=", "|", "~", "+", "-", "*", "<", ">", "@", "?",
+}
+
+// Lex tokenizes src, stripping (* ... *) comments (which may nest).
+func Lex(src string) ([]Tok, error) {
+	var toks []Tok
+	i := 0
+	line := 1
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '(' && i+1 < n && src[i+1] == '*':
+			depth := 1
+			j := i + 2
+			for j < n && depth > 0 {
+				if src[j] == '\n' {
+					line++
+				}
+				if j+1 < n && src[j] == '(' && src[j+1] == '*' {
+					depth++
+					j += 2
+					continue
+				}
+				if j+1 < n && src[j] == '*' && src[j+1] == ')' {
+					depth--
+					j += 2
+					continue
+				}
+				j++
+			}
+			if depth > 0 {
+				return nil, fmt.Errorf("syntax: unterminated comment at line %d", line)
+			}
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentCont(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, Tok{Kind: TIdent, Text: src[i:j], Pos: i, Line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, Tok{Kind: TNumber, Text: src[i:j], Pos: i, Line: line})
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					toks = append(toks, Tok{Kind: TSym, Text: s, Pos: i, Line: line})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("syntax: unexpected character %q at line %d", c, line)
+			}
+		}
+	}
+	toks = append(toks, Tok{Kind: TEOF, Pos: n, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}

@@ -1,0 +1,626 @@
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+
+	"llmfscq/internal/kernel"
+)
+
+// Parser is a recursive-descent parser over a token stream with
+// savepoint-based backtracking.
+type Parser struct {
+	toks []Tok
+	pos  int
+}
+
+// NewParser builds a parser over pre-lexed tokens.
+func NewParser(toks []Tok) *Parser { return &Parser{toks: toks} }
+
+// NewParserString lexes and wraps a source string.
+func NewParserString(src string) (*Parser, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+func (p *Parser) cur() Tok { return p.toks[p.pos] }
+
+// Consumed reports how many tokens the parser has consumed; callers that
+// share a token stream use it to stay in sync.
+func (p *Parser) Consumed() int { return p.pos }
+func (p *Parser) save() int     { return p.pos }
+func (p *Parser) restore(s int) {
+	p.pos = s
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("syntax: line %d: %s (at %q)", t.Line, fmt.Sprintf(format, args...), t.Text)
+}
+
+// AtEOF reports whether all tokens are consumed.
+func (p *Parser) AtEOF() bool { return p.cur().Kind == TEOF }
+
+func (p *Parser) peekSym(s string) bool {
+	t := p.cur()
+	return t.Kind == TSym && t.Text == s
+}
+
+func (p *Parser) peekIdent(s string) bool {
+	t := p.cur()
+	return t.Kind == TIdent && t.Text == s
+}
+
+func (p *Parser) eatSym(s string) bool {
+	if p.peekSym(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) eatIdent(s string) bool {
+	if p.peekIdent(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSym(s string) error {
+	if !p.eatSym(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *Parser) expectAnyIdent() (string, error) {
+	t := p.cur()
+	if t.Kind != TIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// reserved words that terminate term/formula parsing when seen in head
+// position.
+var reserved = map[string]bool{
+	"forall": true, "exists": true, "match": true, "with": true, "end": true,
+	"True": true, "False": true, "fun": true,
+	"Inductive": true, "Fixpoint": true, "Definition": true,
+	"Lemma": true, "Theorem": true, "Corollary": true, "Remark": true, "Fact": true,
+	"Proof": true, "Qed": true, "Hint": true, "Require": true, "Import": true,
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// ParseType parses a type expression without arrows (a type atom sequence).
+func (p *Parser) ParseType() (*kernel.Type, error) {
+	return p.parseTypeArrowless()
+}
+
+// parseTypeAtom: ident | ( type-with-arrows )
+func (p *Parser) parseTypeAtom() (*kernel.Type, error) {
+	if p.eatSym("(") {
+		ty, err := p.ParseArrowType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return ty, nil
+	}
+	name, err := p.expectAnyIdent()
+	if err != nil {
+		return nil, err
+	}
+	return kernel.Ty(name), nil
+}
+
+// parseTypeArrowless: head atoms, e.g. `list (list A)`.
+func (p *Parser) parseTypeArrowless() (*kernel.Type, error) {
+	head, err := p.parseTypeAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TIdent && !reserved[t.Text] {
+			p.pos++
+			head.Args = append(head.Args, kernel.Ty(t.Text))
+			continue
+		}
+		if p.peekSym("(") {
+			save := p.save()
+			p.pos++
+			arg, err := p.ParseArrowType()
+			if err != nil {
+				p.restore(save)
+				break
+			}
+			if !p.eatSym(")") {
+				p.restore(save)
+				break
+			}
+			head.Args = append(head.Args, arg)
+			continue
+		}
+		break
+	}
+	return head, nil
+}
+
+// ParseArrowType parses `T1 -> T2 -> ... -> Tn`, returning a right-nested
+// arrow type using the pseudo-constructor "->".
+func (p *Parser) ParseArrowType() (*kernel.Type, error) {
+	left, err := p.parseTypeArrowless()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("->") {
+		right, err := p.ParseArrowType()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Ty("->", left, right), nil
+	}
+	return left, nil
+}
+
+// FlattenArrow splits an arrow type into argument types and result type.
+func FlattenArrow(ty *kernel.Type) (args []*kernel.Type, res *kernel.Type) {
+	for ty != nil && ty.Name == "->" && len(ty.Args) == 2 && !ty.TVar {
+		args = append(args, ty.Args[0])
+		ty = ty.Args[1]
+	}
+	return args, ty
+}
+
+// ---------------------------------------------------------------------------
+// Terms
+
+// ParseTerm parses a term at the loosest precedence.
+func (p *Parser) ParseTerm() (*kernel.Term, error) {
+	return p.parseConsTerm()
+}
+
+// level: (:: , ++) right-assoc, loosest
+func (p *Parser) parseConsTerm() (*kernel.Term, error) {
+	left, err := p.parseAddTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("::") {
+		right, err := p.parseConsTerm()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.A("cons", left, right), nil
+	}
+	if p.eatSym("++") {
+		right, err := p.parseConsTerm()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.A("app", left, right), nil
+	}
+	return left, nil
+}
+
+// level: + - left-assoc
+func (p *Parser) parseAddTerm() (*kernel.Term, error) {
+	left, err := p.parseMulTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatSym("+"):
+			right, err := p.parseMulTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = kernel.A("plus", left, right)
+		case p.eatSym("-"):
+			right, err := p.parseMulTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = kernel.A("minus", left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+// level: * left-assoc
+func (p *Parser) parseMulTerm() (*kernel.Term, error) {
+	left, err := p.parseAppTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatSym("*") {
+		right, err := p.parseAppTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = kernel.A("mult", left, right)
+	}
+	return left, nil
+}
+
+// application by juxtaposition: head atom followed by argument atoms.
+func (p *Parser) parseAppTerm() (*kernel.Term, error) {
+	head, err := p.parseAtomTerm()
+	if err != nil {
+		return nil, err
+	}
+	// Only identifier heads can be applied.
+	if !head.IsApp() && !head.IsVar() {
+		return head, nil
+	}
+	var args []*kernel.Term
+	for {
+		t := p.cur()
+		if (t.Kind == TIdent && !reserved[t.Text]) || t.Kind == TNumber {
+			a, err := p.parseAtomTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			continue
+		}
+		if p.peekSym("(") {
+			save := p.save()
+			p.pos++
+			a, err := p.ParseTerm()
+			if err != nil {
+				p.restore(save)
+				break
+			}
+			if !p.eatSym(")") {
+				p.restore(save)
+				break
+			}
+			args = append(args, a)
+			continue
+		}
+		break
+	}
+	if len(args) == 0 {
+		return head, nil
+	}
+	// A variable head applied to arguments becomes a function/constructor
+	// application (the resolver decides what the name means later).
+	name := head.Var
+	if name == "" {
+		if len(head.Args) != 0 {
+			return nil, p.errf("cannot apply a compound term")
+		}
+		name = head.Fun
+	}
+	return kernel.A(name, args...), nil
+}
+
+func (p *Parser) parseAtomTerm() (*kernel.Term, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TNumber:
+		p.pos++
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errf("bad number")
+		}
+		// Numerals are unary (Peano) terms; reject sizes that would blow
+		// up memory.
+		const maxNumeral = 4096
+		if n > maxNumeral {
+			return nil, p.errf("numeral %d too large for unary representation", n)
+		}
+		return kernel.NatLit(n), nil
+	case t.Kind == TIdent && t.Text == "match":
+		return p.parseMatchTerm()
+	case t.Kind == TIdent && !reserved[t.Text]:
+		p.pos++
+		// Parsed as a bare variable; the resolver later converts known
+		// constructor/function names to applications.
+		return kernel.V(t.Text), nil
+	case p.peekSym("("):
+		p.pos++
+		inner, err := p.ParseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("expected term")
+	}
+}
+
+func (p *Parser) parseMatchTerm() (*kernel.Term, error) {
+	if !p.eatIdent("match") {
+		return nil, p.errf("expected 'match'")
+	}
+	scrut, err := p.ParseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatIdent("with") {
+		return nil, p.errf("expected 'with'")
+	}
+	var cases []kernel.MatchCase
+	for p.eatSym("|") {
+		pat, err := p.ParseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("=>"); err != nil {
+			return nil, err
+		}
+		rhs, err := p.ParseTerm()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, kernel.MatchCase{Pat: pat, RHS: rhs})
+	}
+	if !p.eatIdent("end") {
+		return nil, p.errf("expected 'end'")
+	}
+	if len(cases) == 0 {
+		return nil, p.errf("match with no cases")
+	}
+	return &kernel.Term{Match: &kernel.MatchExpr{Scrut: scrut, Cases: cases}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Formulas
+
+// ParseForm parses a formula at the loosest precedence.
+func (p *Parser) ParseForm() (*kernel.Form, error) {
+	return p.parseIff()
+}
+
+func (p *Parser) parseIff() (*kernel.Form, error) {
+	left, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("<->") {
+		right, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Iff(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseImpl() (*kernel.Form, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("->") {
+		right, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Impl(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseOr() (*kernel.Form, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("\\/") {
+		right, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Or(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (*kernel.Form, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatSym("/\\") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.And(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (*kernel.Form, error) {
+	if p.eatSym("~") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Not(inner), nil
+	}
+	return p.parseAtomForm()
+}
+
+// Binder is one parsed quantifier binder.
+type Binder struct {
+	Name string
+	Type *kernel.Type
+}
+
+// parseBinders parses quantifier binders: either `(x y : T) (z : U)` groups
+// or the unparenthesized form `x y : T`.
+func (p *Parser) parseBinders() ([]Binder, error) {
+	var out []Binder
+	if p.peekSym("(") {
+		for p.eatSym("(") {
+			var names []string
+			for {
+				name, err := p.expectAnyIdent()
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, name)
+				if p.peekSym(":") {
+					break
+				}
+			}
+			if err := p.expectSym(":"); err != nil {
+				return nil, err
+			}
+			ty, err := p.ParseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				out = append(out, Binder{Name: n, Type: ty})
+			}
+		}
+		return out, nil
+	}
+	// Unparenthesized: idents then `: T`.
+	var names []string
+	for {
+		name, err := p.expectAnyIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		if p.peekSym(":") {
+			break
+		}
+		if p.cur().Kind != TIdent || reserved[p.cur().Text] {
+			return nil, p.errf("expected binder name or ':'")
+		}
+	}
+	if err := p.expectSym(":"); err != nil {
+		return nil, err
+	}
+	ty, err := p.ParseType()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		out = append(out, Binder{Name: n, Type: ty})
+	}
+	return out, nil
+}
+
+func (p *Parser) parseAtomForm() (*kernel.Form, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TIdent && t.Text == "True":
+		p.pos++
+		return kernel.True(), nil
+	case t.Kind == TIdent && t.Text == "False":
+		p.pos++
+		return kernel.False(), nil
+	case t.Kind == TIdent && (t.Text == "forall" || t.Text == "exists"):
+		p.pos++
+		binders, err := p.parseBinders()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(","); err != nil {
+			return nil, err
+		}
+		body, err := p.ParseForm()
+		if err != nil {
+			return nil, err
+		}
+		for i := len(binders) - 1; i >= 0; i-- {
+			b := binders[i]
+			if t.Text == "forall" {
+				body = kernel.Forall(b.Name, b.Type, body)
+			} else {
+				body = kernel.Exists(b.Name, b.Type, body)
+			}
+		}
+		return body, nil
+	}
+	// Try a comparison / predicate application starting with a term.
+	save := p.save()
+	if term, err := p.ParseTerm(); err == nil {
+		switch {
+		case p.eatSym("="):
+			rhs, err := p.ParseTerm()
+			if err != nil {
+				return nil, err
+			}
+			return kernel.Eq(term, rhs), nil
+		case p.eatSym("<>"):
+			rhs, err := p.ParseTerm()
+			if err != nil {
+				return nil, err
+			}
+			return kernel.Not(kernel.Eq(term, rhs)), nil
+		case p.eatSym("<="):
+			rhs, err := p.ParseTerm()
+			if err != nil {
+				return nil, err
+			}
+			return kernel.Pred("le", term, rhs), nil
+		case p.eatSym("<"):
+			rhs, err := p.ParseTerm()
+			if err != nil {
+				return nil, err
+			}
+			return kernel.Pred("lt", term, rhs), nil
+		default:
+			// Bare application in formula position is a predicate.
+			if f, ok := termToPred(term); ok {
+				return f, nil
+			}
+			// Not convertible — fall through to parenthesized formula.
+			p.restore(save)
+		}
+	} else {
+		p.restore(save)
+	}
+	if p.eatSym("(") {
+		inner, err := p.ParseForm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errf("expected formula")
+}
+
+// termToPred converts a parsed application term into a predicate atom.
+func termToPred(t *kernel.Term) (*kernel.Form, bool) {
+	switch {
+	case t.IsVar():
+		return kernel.Pred(t.Var), true
+	case t.IsApp() && len(t.Args) > 0:
+		return kernel.Pred(t.Fun, t.Args...), true
+	case t.IsApp():
+		return kernel.Pred(t.Fun), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,375 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"llmfscq/internal/kernel"
+)
+
+// Decl is one vernacular declaration. Declarations are parsed without
+// environment resolution; the corpus loader resolves them in order.
+type Decl interface{ declKind() string }
+
+// DImport is `Require Import Module.`
+type DImport struct{ Module string }
+
+// DDatatype is `Inductive T (params) : Type := | c : ... .`
+type DDatatype struct{ Datatype *kernel.Datatype }
+
+// DIndPred is `Inductive P ... : ... -> Prop := | rule : form ... .`
+// Rules are kept as unresolved formulas until loading.
+type DIndPred struct {
+	Name string
+	// TypeParams are erased `(A : Type)` parameters; rule binders of these
+	// types become type variables.
+	TypeParams []string
+	ArgTypes   []*kernel.Type
+	Rules      []RawRule
+}
+
+// RawRule is an unresolved inductive-predicate rule.
+type RawRule struct {
+	Name string
+	Form *kernel.Form
+}
+
+// DFun is `Fixpoint`/`Definition` with a non-Prop result: an unresolved
+// function definition.
+type DFun struct {
+	Name      string
+	Params    []kernel.TypedVar
+	RetType   *kernel.Type
+	Body      *kernel.Term
+	Recursive bool
+}
+
+// DPredDef is a `Definition ... : Prop := form.`
+type DPredDef struct {
+	Name   string
+	Params []kernel.TypedVar
+	Body   *kernel.Form
+}
+
+// DLemma is a lemma/theorem with its raw proof script text.
+type DLemma struct {
+	Name  string
+	Stmt  *kernel.Form
+	Proof string // raw tactic script between `Proof.` and `Qed.`
+	Line  int    // source line of the Lemma keyword
+}
+
+// DHint is `Hint Resolve names.` or `Hint Constructors P.`
+type DHint struct {
+	Names        []string
+	Constructors bool
+}
+
+func (DImport) declKind() string   { return "import" }
+func (DDatatype) declKind() string { return "datatype" }
+func (DIndPred) declKind() string  { return "indpred" }
+func (DFun) declKind() string      { return "fun" }
+func (DPredDef) declKind() string  { return "preddef" }
+func (DLemma) declKind() string    { return "lemma" }
+func (DHint) declKind() string     { return "hint" }
+
+// VernParser parses a whole vernacular file; it keeps the source text to
+// slice out raw proof scripts.
+type VernParser struct {
+	*Parser
+	src string
+}
+
+// NewVernParser lexes src and returns a vernacular parser.
+func NewVernParser(src string) (*VernParser, error) {
+	p, err := NewParserString(src)
+	if err != nil {
+		return nil, err
+	}
+	return &VernParser{Parser: p, src: src}, nil
+}
+
+// SpannedDecl pairs a declaration with its source text (used verbatim when
+// building prompts).
+type SpannedDecl struct {
+	Decl Decl
+	Src  string
+}
+
+// ParseFile parses all declarations in the source.
+func (vp *VernParser) ParseFile() ([]Decl, error) {
+	spanned, err := vp.ParseFileSpans()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decl, len(spanned))
+	for i, s := range spanned {
+		out[i] = s.Decl
+	}
+	return out, nil
+}
+
+// ParseFileSpans parses all declarations, recording each one's source text.
+func (vp *VernParser) ParseFileSpans() ([]SpannedDecl, error) {
+	var out []SpannedDecl
+	for !vp.AtEOF() {
+		start := vp.cur().Pos
+		d, err := vp.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		end := vp.cur().Pos
+		if vp.AtEOF() {
+			end = len(vp.src)
+		}
+		out = append(out, SpannedDecl{Decl: d, Src: strings.TrimSpace(vp.src[start:end])})
+	}
+	return out, nil
+}
+
+func (vp *VernParser) parseDecl() (Decl, error) {
+	t := vp.cur()
+	switch {
+	case vp.eatIdent("Require"):
+		if !vp.eatIdent("Import") {
+			return nil, vp.errf("expected 'Import'")
+		}
+		mod, err := vp.expectAnyIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := vp.expectSym("."); err != nil {
+			return nil, err
+		}
+		return DImport{Module: mod}, nil
+	case vp.eatIdent("Hint"):
+		ctors := false
+		switch {
+		case vp.eatIdent("Resolve"):
+		case vp.eatIdent("Constructors"):
+			ctors = true
+		default:
+			return nil, vp.errf("expected 'Resolve' or 'Constructors'")
+		}
+		var names []string
+		for vp.cur().Kind == TIdent {
+			n, _ := vp.expectAnyIdent()
+			names = append(names, n)
+		}
+		if err := vp.expectSym("."); err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, vp.errf("Hint with no names")
+		}
+		return DHint{Names: names, Constructors: ctors}, nil
+	case vp.eatIdent("Inductive"):
+		return vp.parseInductive()
+	case vp.eatIdent("Fixpoint"):
+		return vp.parseFunLike(true)
+	case vp.eatIdent("Definition"):
+		return vp.parseFunLike(false)
+	case vp.eatIdent("Lemma") || vp.eatIdent("Theorem") || vp.eatIdent("Corollary") ||
+		vp.eatIdent("Remark") || vp.eatIdent("Fact"):
+		return vp.parseLemma(t.Line)
+	default:
+		return nil, vp.errf("expected declaration")
+	}
+}
+
+func (vp *VernParser) parseInductive() (Decl, error) {
+	name, err := vp.expectAnyIdent()
+	if err != nil {
+		return nil, err
+	}
+	var params []Binder
+	if vp.peekSym("(") {
+		params, err = vp.parseBinders()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := vp.expectSym(":"); err != nil {
+		return nil, err
+	}
+	sig, err := vp.ParseArrowType()
+	if err != nil {
+		return nil, err
+	}
+	if err := vp.expectSym(":="); err != nil {
+		return nil, err
+	}
+	idxTypes, sort := FlattenArrow(sig)
+	tvars := map[string]bool{}
+	var typeParams []string
+	for _, p := range params {
+		if p.Type.IsType() {
+			tvars[p.Name] = true
+			typeParams = append(typeParams, p.Name)
+		}
+	}
+	switch sort.Name {
+	case "Type":
+		dt := &kernel.Datatype{Name: name, Params: typeParams}
+		// The datatype itself may appear in constructor types.
+		for vp.eatSym("|") {
+			cname, err := vp.expectAnyIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := vp.expectSym(":"); err != nil {
+				return nil, err
+			}
+			cty, err := vp.ParseArrowType()
+			if err != nil {
+				return nil, err
+			}
+			argTys, _ := FlattenArrow(cty)
+			marked := make([]*kernel.Type, len(argTys))
+			for i, at := range argTys {
+				marked[i] = MarkTypeVars(at, tvars)
+			}
+			dt.Constructors = append(dt.Constructors, kernel.Constructor{Name: cname, ArgTypes: marked})
+		}
+		if err := vp.expectSym("."); err != nil {
+			return nil, err
+		}
+		if len(dt.Constructors) == 0 {
+			return nil, fmt.Errorf("syntax: datatype %q has no constructors", name)
+		}
+		return DDatatype{Datatype: dt}, nil
+	case "Prop":
+		marked := make([]*kernel.Type, len(idxTypes))
+		for i, at := range idxTypes {
+			marked[i] = MarkTypeVars(at, tvars)
+		}
+		dp := DIndPred{Name: name, TypeParams: typeParams, ArgTypes: marked}
+		for vp.eatSym("|") {
+			rname, err := vp.expectAnyIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := vp.expectSym(":"); err != nil {
+				return nil, err
+			}
+			rform, err := vp.ParseForm()
+			if err != nil {
+				return nil, err
+			}
+			dp.Rules = append(dp.Rules, RawRule{Name: rname, Form: rform})
+		}
+		if err := vp.expectSym("."); err != nil {
+			return nil, err
+		}
+		if len(dp.Rules) == 0 {
+			return nil, fmt.Errorf("syntax: inductive predicate %q has no rules", name)
+		}
+		return dp, nil
+	default:
+		return nil, fmt.Errorf("syntax: Inductive %q must end in Type or Prop, got %s", name, sort)
+	}
+}
+
+func (vp *VernParser) parseFunLike(recursive bool) (Decl, error) {
+	name, err := vp.expectAnyIdent()
+	if err != nil {
+		return nil, err
+	}
+	var binders []Binder
+	if vp.peekSym("(") {
+		binders, err = vp.parseBinders()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := vp.expectSym(":"); err != nil {
+		return nil, err
+	}
+	ret, err := vp.ParseArrowType()
+	if err != nil {
+		return nil, err
+	}
+	if err := vp.expectSym(":="); err != nil {
+		return nil, err
+	}
+	tvars := map[string]bool{}
+	var params []kernel.TypedVar
+	for _, b := range binders {
+		if b.Type.IsType() {
+			tvars[b.Name] = true
+			continue
+		}
+		params = append(params, kernel.TypedVar{Name: b.Name, Type: b.Type})
+	}
+	for i := range params {
+		params[i].Type = MarkTypeVars(params[i].Type, tvars)
+	}
+	if ret.Name == "Prop" && len(ret.Args) == 0 {
+		body, err := vp.ParseForm()
+		if err != nil {
+			return nil, err
+		}
+		if err := vp.expectSym("."); err != nil {
+			return nil, err
+		}
+		return DPredDef{Name: name, Params: params, Body: body}, nil
+	}
+	body, err := vp.ParseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := vp.expectSym("."); err != nil {
+		return nil, err
+	}
+	return DFun{
+		Name:      name,
+		Params:    params,
+		RetType:   MarkTypeVars(ret, tvars),
+		Body:      body,
+		Recursive: recursive,
+	}, nil
+}
+
+func (vp *VernParser) parseLemma(line int) (Decl, error) {
+	name, err := vp.expectAnyIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := vp.expectSym(":"); err != nil {
+		return nil, err
+	}
+	stmt, err := vp.ParseForm()
+	if err != nil {
+		return nil, fmt.Errorf("in lemma %q: %w", name, err)
+	}
+	if err := vp.expectSym("."); err != nil {
+		return nil, err
+	}
+	if !vp.eatIdent("Proof") {
+		return nil, vp.errf("expected 'Proof' after lemma %q", name)
+	}
+	if err := vp.expectSym("."); err != nil {
+		return nil, err
+	}
+	// Slice the raw script out of the source: from here up to the matching
+	// `Qed` token.
+	start := vp.cur().Pos
+	depth := 0
+	_ = depth
+	for {
+		t := vp.cur()
+		if t.Kind == TEOF {
+			return nil, fmt.Errorf("syntax: lemma %q: missing Qed", name)
+		}
+		if t.Kind == TIdent && t.Text == "Qed" {
+			end := t.Pos
+			vp.pos++
+			if err := vp.expectSym("."); err != nil {
+				return nil, err
+			}
+			script := strings.TrimSpace(vp.src[start:end])
+			return DLemma{Name: name, Stmt: stmt, Proof: script, Line: line}, nil
+		}
+		vp.pos++
+	}
+}

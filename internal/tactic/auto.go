@@ -1,0 +1,238 @@
+package tactic
+
+import (
+	"errors"
+
+	"llmfscq/internal/kernel"
+)
+
+// autoDefaultDepth matches Coq's default auto search depth.
+const autoDefaultDepth = 5
+
+// autoNodeBudget bounds the resolution search; exhausting it fails the
+// tactic (the checker layer treats slow tactics as timeouts).
+const autoNodeBudget = 20000
+
+// tacAuto runs Prolog-style backward chaining over the hint database,
+// hypotheses, and the structural rules for the connectives. auto requires
+// every lemma instantiation to be fully determined by conclusion
+// unification; eauto threads undetermined metavariables through subsequent
+// subgoals (proper resolution with backtracking).
+func tacAuto(env *kernel.Env, g *Goal, depth int, eauto bool) ([]*Goal, error) {
+	if depth < 0 {
+		depth = autoDefaultDepth
+	}
+	r := &resolver{env: env, eauto: eauto, nodes: autoNodeBudget, ev: kernel.NewEvaluator(env)}
+	hyps := make([]*kernel.Form, len(g.Hyps))
+	for i, h := range g.Hyps {
+		hyps[i] = h.Form
+	}
+	flex := map[string]bool{}
+	if r.solve([]rgoal{{hyps: hyps, concl: g.Concl}}, depth, flex, kernel.Subst{}) {
+		return nil, nil
+	}
+	if r.nodes <= 0 {
+		return nil, ErrTimeout
+	}
+	return nil, errors.New("tactic: auto cannot solve the goal")
+}
+
+// rgoal is an internal resolution goal.
+type rgoal struct {
+	hyps  []*kernel.Form
+	concl *kernel.Form
+}
+
+type resolver struct {
+	env   *kernel.Env
+	eauto bool
+	nodes int
+	mc    kernel.MetaCounter
+	rig   int // rigid fresh-variable counter
+	ev    *kernel.Evaluator
+}
+
+// headKey indexes a formula by its conclusion head for hint filtering.
+func headKey(f *kernel.Form) string {
+	switch f.Kind {
+	case kernel.FPred:
+		return "P:" + f.Pred
+	case kernel.FEq:
+		return "="
+	case kernel.FFalse:
+		return "F"
+	case kernel.FTrue:
+		return "T"
+	case kernel.FNot:
+		return "~"
+	case kernel.FAnd:
+		return "&"
+	case kernel.FOr:
+		return "|"
+	case kernel.FIff:
+		return "<>"
+	default:
+		return "?"
+	}
+}
+
+func (r *resolver) solve(goals []rgoal, depth int, flex map[string]bool, sub kernel.Subst) bool {
+	r.nodes--
+	if r.nodes <= 0 {
+		return false
+	}
+	if len(goals) == 0 {
+		return true
+	}
+	g := goals[0]
+	rest := goals[1:]
+	concl := kernel.FullResolveForm(g.concl, sub)
+
+	switch concl.Kind {
+	case kernel.FTrue:
+		return r.solve(rest, depth, flex, sub)
+	case kernel.FForall:
+		if concl.BType.IsType() {
+			return r.solve(append([]rgoal{{hyps: g.hyps, concl: concl.Body}}, rest...), depth, flex, sub)
+		}
+		r.rig++
+		fresh := kernel.V("!a" + itoa(r.rig))
+		body := concl.Body.Subst1(concl.Binder, fresh)
+		return r.solve(append([]rgoal{{hyps: g.hyps, concl: body}}, rest...), depth, flex, sub)
+	case kernel.FImpl:
+		ng := rgoal{hyps: append(append([]*kernel.Form{}, g.hyps...), concl.L), concl: concl.R}
+		return r.solve(append([]rgoal{ng}, rest...), depth, flex, sub)
+	case kernel.FNot:
+		ng := rgoal{hyps: append(append([]*kernel.Form{}, g.hyps...), concl.L), concl: kernel.False()}
+		return r.solve(append([]rgoal{ng}, rest...), depth, flex, sub)
+	case kernel.FAnd:
+		gs := append([]rgoal{{hyps: g.hyps, concl: concl.L}, {hyps: g.hyps, concl: concl.R}}, rest...)
+		return r.solve(gs, depth, flex, sub)
+	case kernel.FOr:
+		trial := sub.Clone()
+		if r.solve(append([]rgoal{{hyps: g.hyps, concl: concl.L}}, rest...), depth, flex, trial) {
+			copySub(sub, trial)
+			return true
+		}
+		return r.solve(append([]rgoal{{hyps: g.hyps, concl: concl.R}}, rest...), depth, flex, sub)
+	case kernel.FExists:
+		if !r.eauto {
+			return false
+		}
+		m := r.mc.Fresh(concl.Binder)
+		flex[m] = true
+		body := concl.Body.Subst1(concl.Binder, kernel.V(m))
+		return r.solve(append([]rgoal{{hyps: g.hyps, concl: body}}, rest...), depth, flex, sub)
+	}
+
+	// Equality: try unification (and convertibility for ground sides).
+	if concl.Kind == kernel.FEq {
+		trial := sub.Clone()
+		if kernel.UnifyTerms(concl.T1, concl.T2, flex, trial) && r.solve(rest, depth, flex, trial) {
+			copySub(sub, trial)
+			return true
+		}
+		if t1, err := r.ev.Normalize(concl.T1); err == nil {
+			if t2, err := r.ev.Normalize(concl.T2); err == nil {
+				trial := sub.Clone()
+				if kernel.UnifyTerms(t1, t2, flex, trial) && r.solve(rest, depth, flex, trial) {
+					copySub(sub, trial)
+					return true
+				}
+			}
+		}
+	}
+
+	// Assumption: unify against each hypothesis.
+	for _, h := range g.hyps {
+		trial := sub.Clone()
+		if kernel.UnifyForms(h, concl, flex, trial) && r.solve(rest, depth, flex, trial) {
+			copySub(sub, trial)
+			return true
+		}
+	}
+
+	if depth <= 0 {
+		return false
+	}
+
+	goalKey := headKey(concl)
+
+	// Hypotheses with structure act as local hints.
+	for _, h := range g.hyps {
+		if h.Kind != kernel.FForall && h.Kind != kernel.FImpl {
+			continue
+		}
+		if r.tryLemma(h, g, rest, concl, goalKey, depth, flex, sub) {
+			return true
+		}
+	}
+
+	// The hint database.
+	for _, name := range r.env.HintOrder {
+		var stmt *kernel.Form
+		if l, ok := r.env.Lemmas[name]; ok {
+			stmt = l.Stmt
+		} else if _, rule := r.env.RuleNamed(name); rule != nil {
+			stmt = rule.Statement()
+		} else {
+			continue
+		}
+		if r.tryLemma(stmt, g, rest, concl, goalKey, depth, flex, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryLemma attempts one backward-chaining step with stmt.
+func (r *resolver) tryLemma(stmt *kernel.Form, g rgoal, rest []rgoal, concl *kernel.Form, goalKey string, depth int, flex map[string]bool, sub kernel.Subst) bool {
+	r.nodes--
+	if r.nodes <= 0 {
+		return false
+	}
+	inst := instantiate(stmt, &r.mc)
+	if k := headKey(inst.concl); k != "?" && k != goalKey {
+		return false
+	}
+	for m := range inst.flex {
+		flex[m] = true
+	}
+	trial := sub.Clone()
+	if !kernel.UnifyForms(inst.concl, concl, flex, trial) {
+		return false
+	}
+	if !r.eauto && !metasResolved(inst, trial) {
+		return false
+	}
+	newGoals := make([]rgoal, 0, len(inst.prems)+len(rest))
+	for _, prem := range inst.prems {
+		newGoals = append(newGoals, rgoal{hyps: g.hyps, concl: prem})
+	}
+	newGoals = append(newGoals, rest...)
+	if r.solve(newGoals, depth-1, flex, trial) {
+		copySub(sub, trial)
+		return true
+	}
+	return false
+}
+
+func copySub(dst, src kernel.Subst) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

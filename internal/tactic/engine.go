@@ -1,0 +1,906 @@
+package tactic
+
+import (
+	"errors"
+	"fmt"
+
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/syntax"
+)
+
+// ErrTimeout is reported when a tactic exceeds its computation budget — the
+// analogue of the paper's 5-second per-tactic limit.
+var ErrTimeout = errors.New("tactic: computation budget exceeded")
+
+// IsTimeout classifies budget-exhaustion errors (including kernel fuel).
+func IsTimeout(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, kernel.ErrFuel)
+}
+
+// maxRepeat bounds `repeat t` iterations.
+const maxRepeat = 64
+
+// Apply runs a tactic expression against the focused goal of the state and
+// returns the successor state. The input state is never mutated.
+func Apply(s *State, e Expr) (*State, error) {
+	if s.Done() {
+		return nil, errors.New("tactic: no goals remaining")
+	}
+	subgoals, err := applyExpr(s.Env, s.Goals[0], e)
+	if err != nil {
+		return nil, err
+	}
+	return s.withGoals(subgoals), nil
+}
+
+// ApplySentence parses one tactic sentence and applies it.
+func ApplySentence(s *State, sentence string) (*State, error) {
+	e, err := ParseOne(sentence)
+	if err != nil {
+		return nil, err
+	}
+	return Apply(s, e)
+}
+
+// RunScript checks a whole proof script against stmt, sentence by sentence.
+// It returns the final state (which must be Done for a complete proof).
+func RunScript(env *kernel.Env, stmt *kernel.Form, script string) (*State, error) {
+	exprs, err := ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	s := NewState(env, stmt)
+	for i, e := range exprs {
+		if s.Done() {
+			return nil, fmt.Errorf("tactic: sentence %d (%s): no goals remaining", i+1, ExprString(e))
+		}
+		ns, err := Apply(s, e)
+		if err != nil {
+			return nil, fmt.Errorf("tactic: sentence %d (%s): %w", i+1, ExprString(e), err)
+		}
+		s = ns
+	}
+	return s, nil
+}
+
+// CheckProof verifies that script completely proves stmt.
+func CheckProof(env *kernel.Env, stmt *kernel.Form, script string) error {
+	s, err := RunScript(env, stmt, script)
+	if err != nil {
+		return err
+	}
+	if !s.Done() {
+		return fmt.Errorf("tactic: proof incomplete, %d goal(s) remain; focused:\n%s", len(s.Goals), s.Goals[0])
+	}
+	return nil
+}
+
+func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
+	switch t := e.(type) {
+	case Seq:
+		firsts, err := applyExpr(env, g, t.First)
+		if err != nil {
+			return nil, err
+		}
+		var out []*Goal
+		for _, sub := range firsts {
+			next, err := applyExpr(env, sub, t.Then)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, next...)
+		}
+		return out, nil
+	case Dispatch:
+		firsts, err := applyExpr(env, g, t.First)
+		if err != nil {
+			return nil, err
+		}
+		if len(firsts) != len(t.Branches) {
+			return nil, fmt.Errorf("tactic: dispatch expects %d goals, got %d", len(t.Branches), len(firsts))
+		}
+		var out []*Goal
+		for i, sub := range firsts {
+			if t.Branches[i] == nil {
+				out = append(out, sub)
+				continue
+			}
+			next, err := applyExpr(env, sub, t.Branches[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, next...)
+		}
+		return out, nil
+	case Alt:
+		if out, err := applyExpr(env, g, t.A); err == nil {
+			return out, nil
+		}
+		return applyExpr(env, g, t.B)
+	case Try:
+		out, err := applyExpr(env, g, t.T)
+		if err != nil {
+			return []*Goal{g}, nil
+		}
+		return out, nil
+	case Repeat:
+		cur := []*Goal{g}
+		for i := 0; i < maxRepeat; i++ {
+			progressed := false
+			var next []*Goal
+			for _, sub := range cur {
+				res, err := applyExpr(env, sub, t.T)
+				if err != nil {
+					next = append(next, sub)
+					continue
+				}
+				if len(res) == 1 && res[0].Fingerprint() == sub.Fingerprint() {
+					next = append(next, sub)
+					continue
+				}
+				progressed = true
+				next = append(next, res...)
+			}
+			cur = next
+			if !progressed {
+				break
+			}
+		}
+		return cur, nil
+	case Call:
+		return applyCall(env, g, t)
+	}
+	return nil, fmt.Errorf("tactic: unknown expression %T", e)
+}
+
+func applyCall(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
+	switch c.Name {
+	case "idtac":
+		return []*Goal{g}, nil
+	case "intro":
+		name := ""
+		if len(c.Idents) > 0 {
+			name = c.Idents[0]
+		}
+		return tacIntro(env, g, name)
+	case "intros":
+		return tacIntros(env, g, c.Idents)
+	case "assumption", "eassumption":
+		return tacAssumption(env, g)
+	case "exact":
+		if len(c.Idents) != 1 {
+			return nil, errors.New("tactic: exact expects one name")
+		}
+		return tacExact(env, g, c.Idents[0])
+	case "split":
+		return tacSplit(env, g)
+	case "left":
+		return tacLeftRight(env, g, true)
+	case "right":
+		return tacLeftRight(env, g, false)
+	case "exists":
+		return tacExists(env, g, c.Terms)
+	case "exfalso":
+		ng := g.Clone()
+		ng.Concl = kernel.False()
+		return []*Goal{ng}, nil
+	case "clear":
+		return tacClear(env, g, c.Idents)
+	case "revert":
+		return tacRevert(env, g, c.Idents)
+	case "generalize":
+		// only `generalize dependent x` is supported
+		if len(c.Idents) == 2 && c.Idents[0] == "dependent" {
+			return tacGeneralizeDependent(env, g, c.Idents[1])
+		}
+		return nil, errors.New("tactic: only 'generalize dependent x' is supported")
+	case "subst":
+		return tacSubst(env, g)
+	case "simpl":
+		return tacSimpl(env, g, c.InHyp)
+	case "unfold":
+		return tacUnfold(env, g, c.Idents, c.InHyp)
+	case "reflexivity":
+		return tacReflexivity(env, g)
+	case "symmetry":
+		return tacSymmetry(env, g, c.InHyp)
+	case "f_equal":
+		return tacFEqual(env, g)
+	case "contradiction":
+		return tacContradiction(env, g)
+	case "discriminate":
+		name := ""
+		if len(c.Idents) > 0 {
+			name = c.Idents[0]
+		}
+		return tacDiscriminate(env, g, name)
+	case "assert":
+		if len(c.Forms) != 1 {
+			return nil, errors.New("tactic: assert expects one formula")
+		}
+		return tacAssert(env, g, c.Forms[0], c.Idents)
+	case "specialize":
+		if len(c.Idents) != 1 {
+			return nil, errors.New("tactic: specialize expects (H args)")
+		}
+		return tacSpecialize(env, g, c.Idents[0], c.Terms)
+	case "apply":
+		return tacApply(env, g, c, false)
+	case "eapply":
+		return tacApply(env, g, c, true)
+	case "constructor":
+		return tacConstructor(env, g, false)
+	case "econstructor":
+		return tacConstructor(env, g, true)
+	case "destruct":
+		return tacDestruct(env, g, c)
+	case "induction":
+		return tacInduction(env, g, c)
+	case "rewrite":
+		return tacRewrite(env, g, c)
+	case "inversion", "inversion_clear":
+		if len(c.Idents) != 1 {
+			return nil, errors.New("tactic: inversion expects a hypothesis name")
+		}
+		return tacInversion(env, g, c.Idents[0], c.Name == "inversion_clear")
+	case "auto":
+		return tacAuto(env, g, c.Num, false)
+	case "eauto":
+		return tacAuto(env, g, c.Num, true)
+	case "trivial":
+		return tacAuto(env, g, 1, false)
+	case "lia", "omega":
+		return tacLia(env, g)
+	case "congruence":
+		return tacCongruence(env, g)
+	default:
+		return nil, fmt.Errorf("tactic: unknown tactic %q", c.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introduction forms
+
+func tacIntro(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+	used := g.usedNames()
+	ng := g.Clone()
+	switch g.Concl.Kind {
+	case kernel.FForall:
+		n := name
+		if n == "" {
+			n = kernel.FreshName(g.Concl.Binder, used)
+		} else if used[n] {
+			return nil, fmt.Errorf("tactic: name %q already used", n)
+		}
+		ng.Vars = append(ng.Vars, kernel.TypedVar{Name: n, Type: g.Concl.BType})
+		ng.Concl = g.Concl.Body.Subst1(g.Concl.Binder, kernel.V(n))
+		return []*Goal{ng}, nil
+	case kernel.FImpl:
+		n := name
+		if n == "" {
+			n = ng.FreshHypName(used)
+		} else if used[n] {
+			return nil, fmt.Errorf("tactic: name %q already used", n)
+		}
+		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: g.Concl.L})
+		ng.Concl = g.Concl.R
+		return []*Goal{ng}, nil
+	case kernel.FNot:
+		n := name
+		if n == "" {
+			n = ng.FreshHypName(used)
+		} else if used[n] {
+			return nil, fmt.Errorf("tactic: name %q already used", n)
+		}
+		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: g.Concl.L})
+		ng.Concl = kernel.False()
+		return []*Goal{ng}, nil
+	}
+	return nil, errors.New("tactic: nothing to introduce")
+}
+
+func tacIntros(env *kernel.Env, g *Goal, names []string) ([]*Goal, error) {
+	if len(names) == 0 {
+		// Bare `intros` introduces syntactic products only; it does not
+		// unfold `~` (matching Coq, where `intro` delta-reduces `not` but
+		// `intros` stops at the first non-product).
+		cur := g
+		for cur.Concl.Kind == kernel.FForall || cur.Concl.Kind == kernel.FImpl {
+			next, err := tacIntro(env, cur, "")
+			if err != nil {
+				return nil, err
+			}
+			cur = next[0]
+		}
+		return []*Goal{cur}, nil
+	}
+	cur := g
+	for _, n := range names {
+		next, err := tacIntro(env, cur, n)
+		if err != nil {
+			return nil, err
+		}
+		cur = next[0]
+	}
+	return []*Goal{cur}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Closing tactics
+
+func tacAssumption(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	want := g.Concl.Fingerprint()
+	for _, h := range g.Hyps {
+		if h.Form.Fingerprint() == want {
+			return nil, nil
+		}
+	}
+	return nil, errors.New("tactic: no matching assumption")
+}
+
+func tacExact(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+	if name == "I" && g.Concl.Kind == kernel.FTrue {
+		return nil, nil
+	}
+	if h, ok := g.HypNamed(name); ok {
+		if h.Form.Fingerprint() == g.Concl.Fingerprint() {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("tactic: hypothesis %q does not match the goal", name)
+	}
+	if l, ok := env.Lemmas[name]; ok {
+		if l.Stmt.Fingerprint() == g.Concl.Fingerprint() {
+			return nil, nil
+		}
+		// A lemma may match after instantiation; delegate to apply.
+		return tacApply(env, g, Call{Name: "apply", Idents: []string{name}, Num: -1}, false)
+	}
+	return nil, fmt.Errorf("tactic: unknown name %q", name)
+}
+
+func tacSplit(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	switch g.Concl.Kind {
+	case kernel.FAnd:
+		g1 := g.Clone()
+		g1.Concl = g.Concl.L
+		g2 := g.Clone()
+		g2.Concl = g.Concl.R
+		return []*Goal{g1, g2}, nil
+	case kernel.FIff:
+		g1 := g.Clone()
+		g1.Concl = kernel.Impl(g.Concl.L, g.Concl.R)
+		g2 := g.Clone()
+		g2.Concl = kernel.Impl(g.Concl.R, g.Concl.L)
+		return []*Goal{g1, g2}, nil
+	case kernel.FTrue:
+		return nil, nil
+	}
+	return nil, errors.New("tactic: split expects a conjunction, iff, or True")
+}
+
+func tacLeftRight(env *kernel.Env, g *Goal, left bool) ([]*Goal, error) {
+	if g.Concl.Kind != kernel.FOr {
+		return nil, errors.New("tactic: goal is not a disjunction")
+	}
+	ng := g.Clone()
+	if left {
+		ng.Concl = g.Concl.L
+	} else {
+		ng.Concl = g.Concl.R
+	}
+	return []*Goal{ng}, nil
+}
+
+func tacExists(env *kernel.Env, g *Goal, witnesses []*kernel.Term) ([]*Goal, error) {
+	if len(witnesses) == 0 {
+		return nil, errors.New("tactic: exists expects a witness")
+	}
+	cur := g
+	for _, w := range witnesses {
+		if cur.Concl.Kind != kernel.FExists {
+			return nil, errors.New("tactic: goal is not existential")
+		}
+		rt, err := resolveGoalTerm(env, cur, w)
+		if err != nil {
+			return nil, err
+		}
+		ng := cur.Clone()
+		ng.Concl = cur.Concl.Body.Subst1(cur.Concl.Binder, rt)
+		cur = ng
+	}
+	return []*Goal{cur}, nil
+}
+
+// resolveGoalTerm resolves a parsed term argument against the environment
+// with the goal's variables bound, and rejects stray identifiers.
+func resolveGoalTerm(env *kernel.Env, g *Goal, t *kernel.Term) (*kernel.Term, error) {
+	bound := map[string]bool{}
+	for _, v := range g.Vars {
+		bound[v.Name] = true
+	}
+	rt, err := syntax.ResolveTerm(env, t, bound)
+	if err != nil {
+		return nil, err
+	}
+	for v := range rt.Vars() {
+		if !bound[v] {
+			return nil, fmt.Errorf("tactic: unknown identifier %q in term argument", v)
+		}
+	}
+	return rt, nil
+}
+
+// resolveGoalForm resolves a parsed formula argument likewise.
+func resolveGoalForm(env *kernel.Env, g *Goal, f *kernel.Form) (*kernel.Form, error) {
+	bound := map[string]bool{}
+	for _, v := range g.Vars {
+		bound[v.Name] = true
+	}
+	rf, err := syntax.ResolveForm(env, f, bound)
+	if err != nil {
+		return nil, err
+	}
+	for v := range rf.FreeVars() {
+		if !bound[v] {
+			return nil, fmt.Errorf("tactic: unknown identifier %q in formula argument", v)
+		}
+	}
+	return rf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Context management
+
+func tacClear(env *kernel.Env, g *Goal, names []string) ([]*Goal, error) {
+	if len(names) == 0 {
+		return nil, errors.New("tactic: clear expects names")
+	}
+	cur := g
+	for _, n := range names {
+		if _, ok := cur.HypNamed(n); ok {
+			cur = cur.RemoveHyp(n)
+			continue
+		}
+		if _, ok := cur.VarType(n); ok {
+			if cur.Concl.HasFreeVar(n) {
+				return nil, fmt.Errorf("tactic: cannot clear %q, used in the goal", n)
+			}
+			for _, h := range cur.Hyps {
+				if h.Form.HasFreeVar(n) {
+					return nil, fmt.Errorf("tactic: cannot clear %q, used in %s", n, h.Name)
+				}
+			}
+			ng := cur.Clone()
+			vars := ng.Vars[:0]
+			for _, v := range ng.Vars {
+				if v.Name != n {
+					vars = append(vars, v)
+				}
+			}
+			ng.Vars = vars
+			cur = ng
+			continue
+		}
+		return nil, fmt.Errorf("tactic: no hypothesis or variable %q", n)
+	}
+	return []*Goal{cur}, nil
+}
+
+func tacRevert(env *kernel.Env, g *Goal, names []string) ([]*Goal, error) {
+	if len(names) == 0 {
+		return nil, errors.New("tactic: revert expects names")
+	}
+	cur := g
+	// `revert x y` generalizes with x outermost: process right-to-left.
+	for i := len(names) - 1; i >= 0; i-- {
+		n := names[i]
+		next, err := revertOne(cur, n)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return []*Goal{cur}, nil
+}
+
+func revertOne(g *Goal, n string) (*Goal, error) {
+	if h, ok := g.HypNamed(n); ok {
+		ng := g.RemoveHyp(n)
+		ng.Concl = kernel.Impl(h.Form, ng.Concl)
+		return ng, nil
+	}
+	if ty, ok := g.VarType(n); ok {
+		for _, h := range g.Hyps {
+			if h.Form.HasFreeVar(n) {
+				return nil, fmt.Errorf("tactic: cannot revert %q, hypothesis %s depends on it", n, h.Name)
+			}
+		}
+		ng := g.Clone()
+		vars := ng.Vars[:0]
+		for _, v := range ng.Vars {
+			if v.Name != n {
+				vars = append(vars, v)
+			}
+		}
+		ng.Vars = vars
+		ng.Concl = kernel.Forall(n, ty, ng.Concl)
+		return ng, nil
+	}
+	return nil, fmt.Errorf("tactic: no hypothesis or variable %q", n)
+}
+
+func tacGeneralizeDependent(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+	if _, ok := g.VarType(name); !ok {
+		return nil, fmt.Errorf("tactic: no variable %q", name)
+	}
+	cur := g
+	// Revert dependent hypotheses last-to-first so the conclusion nests them
+	// in their original order.
+	for i := len(cur.Hyps) - 1; i >= 0; i-- {
+		h := cur.Hyps[i]
+		if h.Form.HasFreeVar(name) {
+			next, err := revertOne(cur, h.Name)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+	}
+	next, err := revertOne(cur, name)
+	if err != nil {
+		return nil, err
+	}
+	return []*Goal{next}, nil
+}
+
+func tacSubst(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	cur := g
+	for changed := true; changed; {
+		changed = false
+		for _, h := range cur.Hyps {
+			if h.Form.Kind != kernel.FEq {
+				continue
+			}
+			var x string
+			var t *kernel.Term
+			if h.Form.T1.IsVar() {
+				if _, isVar := cur.VarType(h.Form.T1.Var); isVar && !h.Form.T2.HasVar(h.Form.T1.Var) {
+					x, t = h.Form.T1.Var, h.Form.T2
+				}
+			}
+			if x == "" && h.Form.T2.IsVar() {
+				if _, isVar := cur.VarType(h.Form.T2.Var); isVar && !h.Form.T1.HasVar(h.Form.T2.Var) {
+					x, t = h.Form.T2.Var, h.Form.T1
+				}
+			}
+			if x == "" {
+				continue
+			}
+			cur = cur.RemoveHyp(h.Name).SubstVar(x, t)
+			changed = true
+			break
+		}
+	}
+	if cur == g {
+		// Coq's subst succeeds even with nothing to do.
+		return []*Goal{g}, nil
+	}
+	return []*Goal{cur}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Computation
+
+func tacSimpl(env *kernel.Env, g *Goal, in string) ([]*Goal, error) {
+	ev := kernel.NewEvaluator(env)
+	switch in {
+	case "":
+		nf, err := ev.NormalizeForm(g.Concl)
+		if err != nil {
+			return nil, err
+		}
+		ng := g.Clone()
+		ng.Concl = nf
+		return []*Goal{ng}, nil
+	case "*":
+		ng := g.Clone()
+		for i, h := range ng.Hyps {
+			nf, err := ev.NormalizeForm(h.Form)
+			if err != nil {
+				return nil, err
+			}
+			ng.Hyps[i] = Hyp{Name: h.Name, Form: nf}
+		}
+		nf, err := ev.NormalizeForm(g.Concl)
+		if err != nil {
+			return nil, err
+		}
+		ng.Concl = nf
+		return []*Goal{ng}, nil
+	default:
+		h, ok := g.HypNamed(in)
+		if !ok {
+			return nil, fmt.Errorf("tactic: no hypothesis %q", in)
+		}
+		nf, err := ev.NormalizeForm(h.Form)
+		if err != nil {
+			return nil, err
+		}
+		return []*Goal{g.ReplaceHyp(in, nf)}, nil
+	}
+}
+
+func tacUnfold(env *kernel.Env, g *Goal, names []string, in string) ([]*Goal, error) {
+	if len(names) == 0 {
+		return nil, errors.New("tactic: unfold expects a name")
+	}
+	ev := kernel.NewEvaluator(env)
+	unfoldIn := func(f *kernel.Form) (*kernel.Form, error) {
+		out := f
+		for _, n := range names {
+			_, isFun := env.Funs[n]
+			_, isDef := env.Defs[n]
+			if !isFun && !isDef {
+				return nil, fmt.Errorf("tactic: %q is not unfoldable", n)
+			}
+			nf, _ := ev.UnfoldDef(n, out)
+			out = nf
+		}
+		return ev.NormalizeForm(out)
+	}
+	switch in {
+	case "":
+		nf, err := unfoldIn(g.Concl)
+		if err != nil {
+			return nil, err
+		}
+		ng := g.Clone()
+		ng.Concl = nf
+		return []*Goal{ng}, nil
+	case "*":
+		ng := g.Clone()
+		for i, h := range ng.Hyps {
+			nf, err := unfoldIn(h.Form)
+			if err != nil {
+				return nil, err
+			}
+			ng.Hyps[i] = Hyp{Name: h.Name, Form: nf}
+		}
+		nf, err := unfoldIn(g.Concl)
+		if err != nil {
+			return nil, err
+		}
+		ng.Concl = nf
+		return []*Goal{ng}, nil
+	default:
+		h, ok := g.HypNamed(in)
+		if !ok {
+			return nil, fmt.Errorf("tactic: no hypothesis %q", in)
+		}
+		nf, err := unfoldIn(h.Form)
+		if err != nil {
+			return nil, err
+		}
+		return []*Goal{g.ReplaceHyp(in, nf)}, nil
+	}
+}
+
+func tacReflexivity(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	switch g.Concl.Kind {
+	case kernel.FEq:
+		if g.Concl.T1.Equal(g.Concl.T2) {
+			return nil, nil
+		}
+		ev := kernel.NewEvaluator(env)
+		t1, err := ev.Normalize(g.Concl.T1)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := ev.Normalize(g.Concl.T2)
+		if err != nil {
+			return nil, err
+		}
+		if kernel.AlphaEqualTerms(t1, t2) {
+			return nil, nil
+		}
+		return nil, errors.New("tactic: terms are not convertible")
+	case kernel.FIff:
+		if g.Concl.L.Fingerprint() == g.Concl.R.Fingerprint() {
+			return nil, nil
+		}
+		return nil, errors.New("tactic: sides of iff differ")
+	case kernel.FTrue:
+		return nil, nil
+	}
+	return nil, errors.New("tactic: goal is not an equality")
+}
+
+func tacSymmetry(env *kernel.Env, g *Goal, in string) ([]*Goal, error) {
+	flip := func(f *kernel.Form) (*kernel.Form, error) {
+		if f.Kind == kernel.FEq {
+			return kernel.Eq(f.T2, f.T1), nil
+		}
+		if f.Kind == kernel.FIff {
+			return kernel.Iff(f.R, f.L), nil
+		}
+		return nil, errors.New("tactic: not an equality")
+	}
+	if in == "" {
+		nf, err := flip(g.Concl)
+		if err != nil {
+			return nil, err
+		}
+		ng := g.Clone()
+		ng.Concl = nf
+		return []*Goal{ng}, nil
+	}
+	h, ok := g.HypNamed(in)
+	if !ok {
+		return nil, fmt.Errorf("tactic: no hypothesis %q", in)
+	}
+	nf, err := flip(h.Form)
+	if err != nil {
+		return nil, err
+	}
+	return []*Goal{g.ReplaceHyp(in, nf)}, nil
+}
+
+func tacFEqual(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	if g.Concl.Kind != kernel.FEq {
+		return nil, errors.New("tactic: f_equal expects an equality goal")
+	}
+	a, b := g.Concl.T1, g.Concl.T2
+	if !a.IsApp() || !b.IsApp() || a.Fun != b.Fun || len(a.Args) != len(b.Args) {
+		return nil, errors.New("tactic: heads differ")
+	}
+	var out []*Goal
+	for i := range a.Args {
+		if a.Args[i].Equal(b.Args[i]) {
+			continue
+		}
+		ng := g.Clone()
+		ng.Concl = kernel.Eq(a.Args[i], b.Args[i])
+		out = append(out, ng)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Contradiction-style closers
+
+func tacContradiction(env *kernel.Env, g *Goal) ([]*Goal, error) {
+	for _, h := range g.Hyps {
+		if h.Form.Kind == kernel.FFalse {
+			return nil, nil
+		}
+	}
+	for _, h := range g.Hyps {
+		if h.Form.Kind != kernel.FNot {
+			continue
+		}
+		want := h.Form.L.Fingerprint()
+		for _, h2 := range g.Hyps {
+			if h2.Form.Fingerprint() == want {
+				return nil, nil
+			}
+		}
+	}
+	return nil, errors.New("tactic: no contradiction found")
+}
+
+// ctorClash reports whether two normalized terms are separated by distinct
+// constructors somewhere along a shared constructor spine.
+func ctorClash(env *kernel.Env, a, b *kernel.Term) bool {
+	if !a.IsApp() || !b.IsApp() {
+		return false
+	}
+	aCtor, bCtor := env.IsConstructor(a.Fun), env.IsConstructor(b.Fun)
+	if !aCtor || !bCtor {
+		return false
+	}
+	if a.Fun != b.Fun {
+		return true
+	}
+	if len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if ctorClash(env, a.Args[i], b.Args[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func tacDiscriminate(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+	ev := kernel.NewEvaluator(env)
+	tryEq := func(f *kernel.Form) bool {
+		if f.Kind != kernel.FEq {
+			return false
+		}
+		t1, err1 := ev.Normalize(f.T1)
+		t2, err2 := ev.Normalize(f.T2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ctorClash(env, t1, t2)
+	}
+	if name != "" {
+		h, ok := g.HypNamed(name)
+		if !ok {
+			return nil, fmt.Errorf("tactic: no hypothesis %q", name)
+		}
+		if tryEq(h.Form) {
+			return nil, nil
+		}
+		return nil, errors.New("tactic: hypothesis is not a discriminable equality")
+	}
+	// Goal form `a <> b` with a clash.
+	if g.Concl.Kind == kernel.FNot && g.Concl.L.Kind == kernel.FEq && tryEq(g.Concl.L) {
+		return nil, nil
+	}
+	for _, h := range g.Hyps {
+		if tryEq(h.Form) {
+			return nil, nil
+		}
+	}
+	return nil, errors.New("tactic: no discriminable equality")
+}
+
+// ---------------------------------------------------------------------------
+// Cut and forward reasoning
+
+func tacAssert(env *kernel.Env, g *Goal, raw *kernel.Form, idents []string) ([]*Goal, error) {
+	f, err := resolveGoalForm(env, g, raw)
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	if len(idents) > 0 {
+		name = idents[0]
+	}
+	used := g.usedNames()
+	if name == "" {
+		name = g.FreshHypName(used)
+	} else if used[name] {
+		return nil, fmt.Errorf("tactic: name %q already used", name)
+	}
+	side := g.Clone()
+	side.Concl = f
+	main := g.Clone()
+	main.Hyps = append(main.Hyps, Hyp{Name: name, Form: f})
+	return []*Goal{side, main}, nil
+}
+
+func tacSpecialize(env *kernel.Env, g *Goal, hname string, args []*kernel.Term) ([]*Goal, error) {
+	h, ok := g.HypNamed(hname)
+	if !ok {
+		return nil, fmt.Errorf("tactic: no hypothesis %q", hname)
+	}
+	f := h.Form
+	for _, a := range args {
+		switch f.Kind {
+		case kernel.FForall:
+			rt, err := resolveGoalTerm(env, g, a)
+			if err != nil {
+				return nil, err
+			}
+			f = f.Body.Subst1(f.Binder, rt)
+		case kernel.FImpl:
+			if !a.IsVar() {
+				return nil, errors.New("tactic: expected a hypothesis name for an implication premise")
+			}
+			prem, ok := g.HypNamed(a.Var)
+			if !ok {
+				return nil, fmt.Errorf("tactic: no hypothesis %q", a.Var)
+			}
+			if prem.Form.Fingerprint() != f.L.Fingerprint() {
+				return nil, fmt.Errorf("tactic: hypothesis %q does not match the premise", a.Var)
+			}
+			f = f.R
+		default:
+			return nil, errors.New("tactic: over-applied hypothesis")
+		}
+	}
+	return []*Goal{g.ReplaceHyp(hname, f)}, nil
+}

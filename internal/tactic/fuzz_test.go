@@ -1,0 +1,55 @@
+package tactic
+
+import (
+	"testing"
+)
+
+// Arbitrary tactic sentences must be rejected cleanly (error, not panic),
+// and applying random-but-parsed tactics must never prove a false goal.
+
+func FuzzParseScript(f *testing.F) {
+	for _, seed := range []string{
+		"intros. reflexivity.",
+		"induction n; simpl; try rewrite IHn; reflexivity.",
+		"destruct b; [ left | right ]; reflexivity.",
+		"apply le_trans with (S n). assumption.",
+		"destruct (eqb a n) eqn:He.",
+		"assert (0 = 0) as H0. rewrite <- H in *.",
+		"repeat split.", "....", ";;", "apply .", "exists , .",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		exprs, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		for _, e := range exprs {
+			_ = ExprString(e)
+		}
+	})
+}
+
+// FuzzApplyNoFalseProof throws parsed-but-arbitrary sentences at a false
+// goal; none may complete the proof.
+func FuzzApplyNoFalseProof(f *testing.F) {
+	for _, seed := range []string{
+		"reflexivity.", "auto.", "eauto.", "omega.", "congruence.",
+		"simpl.", "constructor.", "trivial.", "f_equal.", "intros.",
+		"destruct (plus 0 0) eqn:He.", "induction n || auto.",
+	} {
+		f.Add(seed)
+	}
+	env := buildEnv(f)
+	falseGoal := stmt(f, env, "0 = 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		s := NewState(env, falseGoal)
+		ns, err := ApplySentence(s, src)
+		if err != nil {
+			return
+		}
+		if ns.Done() {
+			t.Fatalf("UNSOUND: %q proved 0 = 1", src)
+		}
+	})
+}

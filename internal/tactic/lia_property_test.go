@@ -1,0 +1,84 @@
+package tactic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestLiaGroundTruth checks the decision procedure against concrete
+// arithmetic: on ground numerals, omega must prove exactly the true
+// comparisons (soundness and, on this fragment, completeness).
+func TestLiaGroundTruth(t *testing.T) {
+	env := buildEnv(t)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(20), rng.Intn(20)
+		cases := []struct {
+			stmt string
+			want bool
+		}{
+			{fmt.Sprintf("%d <= %d", a, b), a <= b},
+			{fmt.Sprintf("%d < %d", a, b), a < b},
+			{fmt.Sprintf("%d = %d", a, b), a == b},
+			{fmt.Sprintf("%d <> %d", a, b), a != b},
+			{fmt.Sprintf("%d + %d = %d", a, b, a+b), true},
+			{fmt.Sprintf("%d + %d = %d", a, b, a+b+1), false},
+		}
+		for _, c := range cases {
+			err := CheckProof(env, stmt(t, env, c.stmt), "omega.")
+			if c.want && err != nil {
+				t.Fatalf("omega failed on true fact %q: %v", c.stmt, err)
+			}
+			if !c.want && err == nil {
+				t.Fatalf("UNSOUND: omega proved false fact %q", c.stmt)
+			}
+		}
+	}
+}
+
+// TestLiaEntailments checks quantified entailments with known truth.
+func TestLiaEntailments(t *testing.T) {
+	env := buildEnv(t)
+	trueFacts := []string{
+		"forall (a b c : nat), a <= b -> b <= c -> a <= c",
+		"forall (a b : nat), a < b -> a <= b",
+		"forall (a b c : nat), a + b <= c -> a <= c",
+		"forall (a b : nat), a + b = b + a",
+		"forall (a : nat), a <= a + a",
+		"forall (a b : nat), S a <= b -> a < b",
+	}
+	falseFacts := []string{
+		"forall (a b : nat), a <= b -> b <= a",
+		"forall (a b : nat), a <= a + b -> b = 0",
+		"forall (a b c : nat), a <= c -> a + b <= c",
+		"forall (a : nat), a < a + a",
+	}
+	for _, f := range trueFacts {
+		if err := CheckProof(env, stmt(t, env, f), "intros. omega."); err != nil {
+			t.Errorf("omega failed on %q: %v", f, err)
+		}
+	}
+	for _, f := range falseFacts {
+		if err := CheckProof(env, stmt(t, env, f), "intros. omega."); err == nil {
+			t.Errorf("UNSOUND: omega proved %q", f)
+		}
+	}
+}
+
+// TestCongruenceGroundTruth exercises the congruence-closure engine on
+// chains of equations with a known answer.
+func TestCongruenceGroundTruth(t *testing.T) {
+	env := buildEnv(t)
+	// Chain entailments.
+	proves(t, env, "forall (a b c d : nat), a = b -> b = c -> c = d -> a = d",
+		"intros. congruence.")
+	proves(t, env, "forall (a b : nat), a = b -> S (S a) = S (S b)",
+		"intros. congruence.")
+	proves(t, env, "forall (a b c : nat), a = b -> plus a c = plus b c",
+		"intros. congruence.")
+	failsToProve(t, env, "forall (a b c d : nat), a = b -> c = d -> a = c",
+		"intros. congruence.")
+	failsToProve(t, env, "forall (a b : nat), S a = S b -> a = S b",
+		"intros. congruence.")
+}

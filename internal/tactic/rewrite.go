@@ -1,0 +1,81 @@
+package tactic
+
+import (
+	"errors"
+	"fmt"
+
+	"llmfscq/internal/kernel"
+)
+
+func tacRewrite(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
+	if len(c.Idents) == 0 {
+		return nil, errors.New("tactic: rewrite expects an equation name")
+	}
+	main := g
+	var sides []*Goal
+	for _, name := range c.Idents {
+		res, extra, err := rewriteOne(env, main, name, c.Rev, c.InHyp)
+		if err != nil {
+			return nil, err
+		}
+		main = res
+		sides = append(sides, extra...)
+	}
+	return append([]*Goal{main}, sides...), nil
+}
+
+// rewriteOne rewrites with one named equation in the conclusion or a
+// hypothesis, returning the rewritten goal plus side-condition goals for the
+// equation's premises.
+func rewriteOne(env *kernel.Env, g *Goal, name string, rev bool, in string) (*Goal, []*Goal, error) {
+	stmt, err := lookupStmt(env, g, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mc kernel.MetaCounter
+	inst := instantiate(stmt, &mc)
+	if inst.concl.Kind != kernel.FEq {
+		return nil, nil, fmt.Errorf("tactic: %q is not an equation", name)
+	}
+	lhs, rhs := inst.concl.T1, inst.concl.T2
+	if rev {
+		lhs, rhs = rhs, lhs
+	}
+
+	target := g.Concl
+	if in != "" {
+		h, ok := g.HypNamed(in)
+		if !ok {
+			return nil, nil, fmt.Errorf("tactic: no hypothesis %q", in)
+		}
+		target = h.Form
+	}
+
+	instTerm, sub, ok := kernel.FindInstanceForm(lhs, target, inst.flex, kernel.Subst{})
+	if !ok {
+		return nil, nil, fmt.Errorf("tactic: found no subterm matching %s", kernel.FullResolve(lhs, kernel.Subst{}))
+	}
+	if !metasResolved(inst, sub) {
+		return nil, nil, errors.New("tactic: rewrite cannot determine all instances")
+	}
+	replacement := kernel.FullResolve(rhs, sub)
+	newTarget, n := kernel.ReplaceAllForm(target, instTerm, replacement)
+	if n == 0 {
+		return nil, nil, errors.New("tactic: internal: instance vanished")
+	}
+
+	var main *Goal
+	if in == "" {
+		main = g.Clone()
+		main.Concl = newTarget
+	} else {
+		main = g.ReplaceHyp(in, newTarget)
+	}
+	var sides []*Goal
+	for _, prem := range inst.prems {
+		ng := g.Clone()
+		ng.Concl = kernel.FullResolveForm(prem, sub)
+		sides = append(sides, ng)
+	}
+	return main, sides, nil
+}

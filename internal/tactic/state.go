@@ -1,0 +1,222 @@
+// Package tactic implements the proof-state layer and the tactic
+// interpreter: Coq-style goals (typed variable context, named hypotheses,
+// conclusion) and 30+ tactics including structural induction, inversion,
+// rewriting, auto/eauto backward chaining, lia, and congruence, plus the
+// combinators `;`, `||`, `try`, and `repeat`.
+package tactic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llmfscq/internal/kernel"
+)
+
+// Hyp is a named hypothesis.
+type Hyp struct {
+	Name string
+	Form *kernel.Form
+}
+
+// Goal is one open proof obligation.
+type Goal struct {
+	Vars  []kernel.TypedVar
+	Hyps  []Hyp
+	Concl *kernel.Form
+}
+
+// State is a proof state: an ordered list of open goals (the first is
+// focused) against a fixed environment. States are immutable: tactics
+// return fresh states sharing untouched goals.
+type State struct {
+	Env   *kernel.Env
+	Goals []*Goal
+}
+
+// NewState starts a proof of stmt in env: quantifiers are NOT introduced
+// (the script does that), so the single goal has an empty context.
+func NewState(env *kernel.Env, stmt *kernel.Form) *State {
+	return &State{Env: env, Goals: []*Goal{{Concl: stmt}}}
+}
+
+// Done reports whether the proof is complete.
+func (s *State) Done() bool { return len(s.Goals) == 0 }
+
+// Clone copies the goal (vars and hyps slices are copied; forms are
+// immutable and shared).
+func (g *Goal) Clone() *Goal {
+	ng := &Goal{
+		Vars:  append([]kernel.TypedVar(nil), g.Vars...),
+		Hyps:  append([]Hyp(nil), g.Hyps...),
+		Concl: g.Concl,
+	}
+	return ng
+}
+
+// VarType returns the declared type of a context variable.
+func (g *Goal) VarType(name string) (*kernel.Type, bool) {
+	for _, v := range g.Vars {
+		if v.Name == name {
+			return v.Type, true
+		}
+	}
+	return nil, false
+}
+
+// HypNamed returns the hypothesis with the given name.
+func (g *Goal) HypNamed(name string) (Hyp, bool) {
+	for _, h := range g.Hyps {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Hyp{}, false
+}
+
+// RemoveHyp returns a copy of the goal without the named hypothesis.
+func (g *Goal) RemoveHyp(name string) *Goal {
+	ng := g.Clone()
+	out := ng.Hyps[:0]
+	for _, h := range ng.Hyps {
+		if h.Name != name {
+			out = append(out, h)
+		}
+	}
+	ng.Hyps = out
+	return ng
+}
+
+// ReplaceHyp returns a copy of the goal with hypothesis name replaced by f.
+func (g *Goal) ReplaceHyp(name string, f *kernel.Form) *Goal {
+	ng := g.Clone()
+	for i := range ng.Hyps {
+		if ng.Hyps[i].Name == name {
+			ng.Hyps[i] = Hyp{Name: name, Form: f}
+		}
+	}
+	return ng
+}
+
+// usedNames returns all names (vars and hyps) in scope, for freshening.
+func (g *Goal) usedNames() map[string]bool {
+	used := map[string]bool{}
+	for _, v := range g.Vars {
+		used[v.Name] = true
+	}
+	for _, h := range g.Hyps {
+		used[h.Name] = true
+	}
+	// Free variables of the conclusion matter too (e.g. uninstantiated
+	// binder names).
+	for v := range g.Concl.FreeVars() {
+		used[v] = true
+	}
+	for _, h := range g.Hyps {
+		for v := range h.Form.FreeVars() {
+			used[v] = true
+		}
+	}
+	return used
+}
+
+// FreshHypName picks an unused hypothesis name (H, H0, H1, ...).
+func (g *Goal) FreshHypName(used map[string]bool) string {
+	if used == nil {
+		used = g.usedNames()
+	}
+	if !used["H"] {
+		used["H"] = true
+		return "H"
+	}
+	for i := 0; ; i++ {
+		n := fmt.Sprintf("H%d", i)
+		if !used[n] {
+			used[n] = true
+			return n
+		}
+	}
+}
+
+// SubstVar substitutes a context variable by a term everywhere in the goal
+// (hyps and conclusion), and drops the variable from the context.
+func (g *Goal) SubstVar(x string, t *kernel.Term) *Goal {
+	ng := &Goal{Concl: g.Concl.Subst1(x, t)}
+	for _, v := range g.Vars {
+		if v.Name != x {
+			ng.Vars = append(ng.Vars, v)
+		}
+	}
+	for _, h := range g.Hyps {
+		ng.Hyps = append(ng.Hyps, Hyp{Name: h.Name, Form: h.Form.Subst1(x, t)})
+	}
+	return ng
+}
+
+// String renders the goal Coq-style.
+func (g *Goal) String() string {
+	var b strings.Builder
+	for _, v := range g.Vars {
+		fmt.Fprintf(&b, "%s : %s\n", v.Name, v.Type)
+	}
+	for _, h := range g.Hyps {
+		fmt.Fprintf(&b, "%s : %s\n", h.Name, h.Form)
+	}
+	b.WriteString("============================\n")
+	b.WriteString(g.Concl.String())
+	return b.String()
+}
+
+// Fingerprint returns a canonical identifier for the goal: hypotheses are
+// alpha-insensitive to their names, sorted, and the conclusion fingerprinted.
+// Used by the search to prune duplicate proof states.
+func (g *Goal) Fingerprint() string {
+	// Rename context variables positionally so alpha-variant goals coincide;
+	// hypothesis *names* never enter the fingerprint, and hypotheses are
+	// sorted so their order is irrelevant too.
+	ren := make(kernel.Subst, len(g.Vars))
+	for i, v := range g.Vars {
+		ren[v.Name] = kernel.V(fmt.Sprintf("v%d", i))
+	}
+	hyps := make([]string, 0, len(g.Hyps))
+	for _, h := range g.Hyps {
+		hyps = append(hyps, h.Form.SubstTerm(ren).Fingerprint())
+	}
+	sort.Strings(hyps)
+	return strings.Join(hyps, "|") + "⊢" + g.Concl.SubstTerm(ren).Fingerprint()
+}
+
+// Fingerprint of the whole state: concatenation over goals. Goal order
+// matters (the focused goal differs).
+func (s *State) Fingerprint() string {
+	if len(s.Goals) == 0 {
+		return "<proved>"
+	}
+	parts := make([]string, len(s.Goals))
+	for i, g := range s.Goals {
+		parts[i] = g.Fingerprint()
+	}
+	return strings.Join(parts, " || ")
+}
+
+// String renders the state: the focused goal in full, others as one-liners.
+func (s *State) String() string {
+	if s.Done() {
+		return "No more goals."
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d goal(s)\n\n", len(s.Goals))
+	b.WriteString(s.Goals[0].String())
+	for i := 1; i < len(s.Goals); i++ {
+		fmt.Fprintf(&b, "\n\ngoal %d: %s", i+1, s.Goals[i].Concl)
+	}
+	return b.String()
+}
+
+// withGoals returns a new state with the focused goal replaced by subgoals.
+func (s *State) withGoals(subgoals []*Goal) *State {
+	ng := &State{Env: s.Env}
+	ng.Goals = append(ng.Goals, subgoals...)
+	ng.Goals = append(ng.Goals, s.Goals[1:]...)
+	return ng
+}

@@ -1,0 +1,81 @@
+// Package textmetrics implements the text-similarity measures of the
+// paper's §4.2: normalized Levenshtein distance between generated and
+// human proofs (1 = exact match, 0 = completely dissimilar) and relative
+// proof length.
+package textmetrics
+
+import (
+	"strings"
+
+	"llmfscq/internal/tokenizer"
+)
+
+// Levenshtein returns the edit distance between a and b (runes).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// NormalizeScript canonicalizes a proof script's whitespace so formatting
+// differences do not count as edits.
+func NormalizeScript(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Similarity is the normalized Levenshtein similarity between two proof
+// scripts: 1 - dist/max(len), on whitespace-normalized text. Two empty
+// scripts are fully similar.
+func Similarity(a, b string) float64 {
+	a, b = NormalizeScript(a), NormalizeScript(b)
+	la, lb := len([]rune(a)), len([]rune(b))
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// RelativeLength returns the generated proof's token length as a fraction
+// of the human proof's token length (the paper's "Length" column).
+func RelativeLength(generated, human string) float64 {
+	h := tokenizer.Count(human)
+	if h == 0 {
+		return 1
+	}
+	return float64(tokenizer.Count(generated)) / float64(h)
+}

@@ -1,0 +1,64 @@
+package textmetrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"kitten", "sitting", 3},
+		{"", "xyz", 3},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Metric properties: identity, symmetry, triangle inequality.
+func TestLevenshteinMetric(t *testing.T) {
+	ident := func(a string) bool { return Levenshtein(a, a) == 0 }
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	tri := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	for _, f := range []any{ident, sym, tri} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Similarity("intros. auto.", "intros. auto.") != 1 {
+		t.Fatal("identical scripts not fully similar")
+	}
+	if Similarity("intros.   auto.", "intros. auto.") != 1 {
+		t.Fatal("whitespace counted as difference")
+	}
+}
+
+func TestRelativeLength(t *testing.T) {
+	if got := RelativeLength("intros.", "intros. auto."); got >= 1 {
+		t.Fatalf("shorter proof has ratio %f", got)
+	}
+	if got := RelativeLength("x", ""); got != 1 {
+		t.Fatalf("empty human proof ratio %f", got)
+	}
+}
