@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 
+	"llmfscq/internal/analysis"
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/eval"
@@ -38,10 +39,18 @@ func main() {
 		par        = flag.Int("par", runtime.NumCPU(), "parallel searches")
 		paperSamp  = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
 		only       = flag.String("model", "", "restrict to models whose name contains this substring")
+		lint       = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
 	)
 	flag.Parse()
 	if !(*fig1a || *fig1b || *table1 || *table2 || *fig2 || *probe || *whole || *ablate) {
 		*all = true
+	}
+
+	if *lint {
+		if err := lintCorpus(); err != nil {
+			log.Fatalf("corpus lint: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "corpus lint: clean")
 	}
 
 	c, err := corpus.Default()
@@ -213,4 +222,35 @@ func runAblations(r *eval.Runner, c *corpus.Corpus) string {
 		fmt.Fprintf(&b, "  %-22s coverage %5.1f%%, avg queries per proof %.1f\n", alg.name, cov, q)
 	}
 	return b.String()
+}
+
+// lintCorpus runs every corpus-family static analyzer over the embedded
+// corpus (benchmark mode: no roots). A finding means the corpus no longer
+// satisfies the invariants the experiment numbers depend on, so the run is
+// aborted rather than producing tables from a dubious benchmark.
+func lintCorpus() error {
+	files, err := corpus.Sources()
+	if err != nil {
+		return err
+	}
+	vfiles := make([]analysis.VFile, 0, len(files))
+	for _, f := range files {
+		vfiles = append(vfiles, analysis.VFile{
+			Name:   "internal/corpus/data/" + f.Name + ".v",
+			Module: f.Name,
+			Src:    f.Src,
+		})
+	}
+	dev, err := analysis.ParseDevelopment(vfiles)
+	if err != nil {
+		return err
+	}
+	findings := analysis.RunCorpus(analysis.All(), dev)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d finding(s)", len(findings))
+	}
+	return nil
 }

@@ -1,0 +1,212 @@
+// Command lint runs the repository's static analyzers (internal/analysis)
+// over the Go sources and the embedded proof corpus.
+//
+// Usage:
+//
+//	go run ./cmd/lint [flags] [packages]
+//
+// With no package arguments (or the literal "./...") every Go package under
+// the current module is analyzed, plus the embedded corpus. Exits nonzero
+// when any finding survives suppression.
+//
+// Flags:
+//
+//	-json            emit findings as a JSON array instead of text
+//	-enable  a,b     run only the named analyzers
+//	-disable a,b     skip the named analyzers
+//	-corpus=false    skip the corpus analyzers
+//	-list            print the analyzer inventory and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"llmfscq/internal/analysis"
+	"llmfscq/internal/corpus"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
+		doCorpus = flag.Bool("corpus", true, "run the corpus analyzers over the embedded corpus")
+		listOnly = flag.Bool("list", false, "print the analyzer inventory and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.All() {
+			family := "go"
+			if a.Corpus != nil {
+				family = "corpus"
+			}
+			fmt.Printf("%-14s (%s) %s\n", a.Name, family, a.Doc)
+		}
+		return
+	}
+
+	azs, err := analysis.Select(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	dirs, err := targetDirs(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	for _, dir := range dirs {
+		pkg, err := analysis.LoadGoPackage(filepath.Join(root, filepath.FromSlash(dir)), dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings = append(findings, analysis.RunGo(azs, pkg)...)
+	}
+
+	if *doCorpus {
+		dev, err := loadCorpusDevelopment()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, analysis.RunCorpus(azs, dev)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// loadCorpusDevelopment parses the embedded corpus into the analysis model.
+// Roots stay nil: the corpus is a benchmark (every lemma is an obligation),
+// so the dead-lemma analyzer runs in its no-roots mode.
+func loadCorpusDevelopment() (*analysis.Development, error) {
+	files, err := corpus.Sources()
+	if err != nil {
+		return nil, err
+	}
+	vfiles := make([]analysis.VFile, 0, len(files))
+	for _, f := range files {
+		vfiles = append(vfiles, analysis.VFile{
+			Name:   "internal/corpus/data/" + f.Name + ".v",
+			Module: f.Name,
+			Src:    f.Src,
+		})
+	}
+	return analysis.ParseDevelopment(vfiles)
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// targetDirs resolves the package arguments to module-root-relative slash
+// paths of directories containing Go files. No args or "./..." means the
+// whole module.
+func targetDirs(root string, args []string) ([]string, error) {
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." {
+			all = true
+		}
+	}
+	if all {
+		return walkGoDirs(root)
+	}
+	var out []string
+	for _, a := range args {
+		rel := strings.TrimPrefix(filepath.ToSlash(filepath.Clean(a)), "./")
+		info, err := os.Stat(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("not a package directory: %s", a)
+		}
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func walkGoDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		seen[filepath.ToSlash(rel)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for dir := range seen {
+		out = append(out, dir)
+	}
+	sort.Strings(out)
+	return out, nil
+}

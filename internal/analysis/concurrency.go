@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var analyzerGoroutine = &Analyzer{
+	Name: "goroutine",
+	Doc: "concurrency hygiene for worker pools: flags goroutine closures that capture " +
+		"an enclosing loop variable instead of taking it as an argument (hygiene/" +
+		"back-compat: per-iteration loop variables make this safe from Go 1.22, but " +
+		"the capture is still an aliasing hazard under refactors), and " +
+		"sync.WaitGroup.Add calls made inside the spawned goroutine instead of " +
+		"before the go statement (racy: Wait can return before Add runs)",
+	Go: runGoroutine,
+}
+
+func runGoroutine(pkg *GoPackage) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			wg := waitGroupObjects(fd)
+			out = append(out, lintGoStmts(pkg, f, fd.Body, nil, wg)...)
+		}
+	}
+	return out
+}
+
+// waitGroupObjects collects the declaration objects of sync.WaitGroup
+// variables (params and var declarations) in the function.
+func waitGroupObjects(fd *ast.FuncDecl) map[*ast.Object]bool {
+	wg := map[*ast.Object]bool{}
+	isWG := func(t ast.Expr) bool {
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		sel, ok := t.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == "sync" && sel.Sel.Name == "WaitGroup"
+	}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isWG(field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Obj != nil {
+					wg[name.Obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Type == nil || !isWG(vs.Type) {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Obj != nil {
+					wg[name.Obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return wg
+}
+
+// lintGoStmts walks stmts tracking the loop variables in scope (by their
+// parser resolution objects, so shadowing is handled) and inspects each
+// `go func(...){...}()` literal it encounters.
+func lintGoStmts(pkg *GoPackage, f *GoFile, n ast.Node, loopVars map[*ast.Object]string, wg map[*ast.Object]bool) []Finding {
+	var out []Finding
+	var walk func(n ast.Node, loops map[*ast.Object]string)
+	walk = func(n ast.Node, loops map[*ast.Object]string) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.RangeStmt:
+			inner := copyLoopVars(loops)
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Obj != nil && id.Name != "_" {
+					inner[id.Obj] = id.Name
+				}
+			}
+			walk(v.Body, inner)
+			return
+		case *ast.ForStmt:
+			inner := copyLoopVars(loops)
+			if assign, ok := v.Init.(*ast.AssignStmt); ok && assign.Tok == token.DEFINE {
+				for _, lhs := range assign.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Obj != nil && id.Name != "_" {
+						inner[id.Obj] = id.Name
+					}
+				}
+			}
+			walk(v.Body, inner)
+			return
+		case *ast.GoStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				out = append(out, lintGoroutineBody(pkg, f, lit, loops, wg)...)
+			}
+			// Arguments of the go call are evaluated in the loop's scope:
+			// walking them (and the body, for nested go statements) with the
+			// current loop set is correct.
+			for _, arg := range v.Call.Args {
+				walk(arg, loops)
+			}
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				walk(lit.Body, loops)
+			}
+			return
+		}
+		// Generic descent one level.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m.(type) {
+			case *ast.RangeStmt, *ast.ForStmt, *ast.GoStmt:
+				walk(m, loops)
+				return false
+			}
+			return true
+		})
+	}
+	walk(n, copyLoopVars(loopVars))
+	return out
+}
+
+func copyLoopVars(m map[*ast.Object]string) map[*ast.Object]string {
+	out := make(map[*ast.Object]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func lintGoroutineBody(pkg *GoPackage, f *GoFile, lit *ast.FuncLit, loops map[*ast.Object]string, wg map[*ast.Object]bool) []Finding {
+	var out []Finding
+	reported := map[*ast.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if v.Obj != nil && !reported[v.Obj] {
+				if name, ok := loops[v.Obj]; ok {
+					reported[v.Obj] = true
+					out = append(out, Finding{
+						Analyzer: "goroutine", File: f.Name, Line: pkg.line(v),
+						Message: "goroutine closure captures loop variable " + name + "; pass it as an argument to the func literal",
+					})
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Obj != nil && wg[id.Obj] {
+				out = append(out, Finding{
+					Analyzer: "goroutine", File: f.Name, Line: pkg.line(v),
+					Message: id.Name + ".Add inside the spawned goroutine races with Wait; call Add before the go statement",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

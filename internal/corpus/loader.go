@@ -8,6 +8,7 @@ package corpus
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"llmfscq/internal/kernel"
@@ -82,6 +83,32 @@ type Corpus struct {
 func (c *Corpus) TheoremNamed(name string) (*Theorem, bool) {
 	t, ok := c.byName[name]
 	return t, ok
+}
+
+// ImportClosure returns the files transitively visible from file via
+// Require Import, in corpus load order, ending with the file itself. It is
+// the single dependency-graph hook shared by prompt assembly and the
+// static analyzers.
+func (c *Corpus) ImportClosure(file string) []string {
+	visible := map[string]bool{}
+	var visit func(f string)
+	visit = func(f string) {
+		if visible[f] {
+			return
+		}
+		visible[f] = true
+		for _, imp := range c.Imports[f] {
+			visit(imp)
+		}
+	}
+	visit(file)
+	var out []string
+	for _, f := range c.Files {
+		if visible[f] {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Options controls loading.
@@ -360,5 +387,6 @@ func keys(m map[string]bool) []string {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -169,6 +169,7 @@ func (ng *NGram) Continuations(prev string, k int) []string {
 	}
 	var all []kv
 	for s, n := range m {
+		//lint:ignore maporder all is fully ordered by the insertion sort below
 		all = append(all, kv{s, n})
 	}
 	// Insertion sort by count desc then lexicographic for determinism.

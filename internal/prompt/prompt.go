@@ -101,30 +101,6 @@ type Builder struct {
 	Window int
 }
 
-// importClosure returns the files visible from file, in corpus load order,
-// ending with the file itself.
-func (b *Builder) importClosure(file string) []string {
-	visible := map[string]bool{}
-	var visit func(f string)
-	visit = func(f string) {
-		if visible[f] {
-			return
-		}
-		visible[f] = true
-		for _, imp := range b.Corpus.Imports[f] {
-			visit(imp)
-		}
-	}
-	visit(file)
-	var out []string
-	for _, f := range b.Corpus.Files {
-		if visible[f] {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
 // Build assembles the prompt for a target theorem.
 func (b *Builder) Build(th *corpus.Theorem) *Prompt {
 	var items []Item
@@ -146,7 +122,7 @@ func (b *Builder) Build(th *corpus.Theorem) *Prompt {
 			Tokens: tokenizer.Count(text),
 		})
 	}
-	for _, f := range b.importClosure(th.File) {
+	for _, f := range b.Corpus.ImportClosure(th.File) {
 		fileItems := b.Corpus.Items[f]
 		for idx, it := range fileItems {
 			if f == th.File && idx >= th.Index {

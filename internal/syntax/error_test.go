@@ -1,0 +1,131 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// Malformed vernacular must produce descriptive errors, never panics. Each
+// case names the substring the error must carry so failure modes stay
+// distinguishable (the eval harness classifies model output by them).
+func TestVernacularErrorMessages(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{
+			name:    "unterminated proof",
+			src:     "Lemma l : True.\nProof. constructor.",
+			wantErr: "missing Qed",
+		},
+		{
+			name:    "missing proof header",
+			src:     "Lemma l : True.\nconstructor. Qed.",
+			wantErr: "expected 'Proof'",
+		},
+		{
+			name:    "zero constructor inductive",
+			src:     "Inductive empty : Type :=.",
+			wantErr: "no constructors",
+		},
+		{
+			name:    "inductive with bad sort",
+			src:     "Inductive w : nat := | c : w.",
+			wantErr: "must end in Type or Prop",
+		},
+		{
+			name:    "inductive predicate with no rules",
+			src:     "Inductive p : nat -> Prop :=.",
+			wantErr: "no rules",
+		},
+		{
+			name:    "unterminated comment",
+			src:     "(* this never ends\nLemma l : True.",
+			wantErr: "unterminated comment",
+		},
+		{
+			name:    "unexpected character",
+			src:     "Lemma l : True # False.",
+			wantErr: "unexpected character",
+		},
+		{
+			name:    "numeral too large",
+			src:     "Lemma l : x = 99999999.\nProof. reflexivity. Qed.",
+			wantErr: "too large",
+		},
+		{
+			name:    "match with no cases",
+			src:     "Fixpoint f (n : nat) : nat := match n with end.",
+			wantErr: "match with no cases",
+		},
+		{
+			name:    "hint with no names",
+			src:     "Hint Resolve.",
+			wantErr: "Hint with no names",
+		},
+		{
+			name:    "hint without resolve keyword",
+			src:     "Hint Frobnicate x.",
+			wantErr: "expected 'Resolve' or 'Constructors'",
+		},
+		{
+			name:    "require without import",
+			src:     "Require Export X.",
+			wantErr: "expected 'Import'",
+		},
+		{
+			name:    "unknown declaration keyword",
+			src:     "Axiom choice : True.",
+			wantErr: "expected declaration",
+		},
+		{
+			name:    "lemma with malformed statement",
+			src:     "Lemma l : forall , x = x.\nProof. Qed.",
+			wantErr: "in lemma",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseAll(tc.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func parseAll(src string) error {
+	vp, err := NewVernParser(src)
+	if err != nil {
+		return err
+	}
+	_, err = vp.ParseFileSpans()
+	return err
+}
+
+// Spans must carry the 1-based line of each declaration's first token, so
+// static-analysis findings point at real source positions.
+func TestSpannedDeclLines(t *testing.T) {
+	src := "(* header comment *)\nRequire Import A.\n\nInductive b : Type :=\n| T : b.\n\nLemma l : True.\nProof. constructor. Qed.\n"
+	vp, err := NewVernParser(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, err := vp.ParseFileSpans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{2, 4, 7}
+	if len(decls) != len(wantLines) {
+		t.Fatalf("got %d decls, want %d", len(decls), len(wantLines))
+	}
+	for i, want := range wantLines {
+		if decls[i].Line != want {
+			t.Errorf("decl %d line = %d, want %d", i, decls[i].Line, want)
+		}
+	}
+}

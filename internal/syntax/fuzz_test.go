@@ -10,6 +10,7 @@ func FuzzLex(f *testing.F) {
 		"", "(", ")", "(* unterminated", "Lemma x : 0 = 0. Proof. Qed.",
 		"forall (x : nat), x = x", "match x with | O => 1 end",
 		"a ++ b :: c + d * e", "~~~True", "\x00\xff", "0x", "(((((",
+		"(* nested (* comment *) *)", "x = 99999999", "Lemma l : True # False.",
 	} {
 		f.Add(seed)
 	}
@@ -30,6 +31,7 @@ func FuzzParseForm(f *testing.F) {
 		"exists (x : nat), x < 3 /\\ True",
 		"a = b -> (c = d \\/ ~ e = f)",
 		"In x (x :: l)", "()", "forall , x", "1 + = 2",
+		"x = 4097", "match x with end", "exists (x : ), x",
 	} {
 		f.Add(seed)
 	}
@@ -57,6 +59,11 @@ func FuzzParseVernacular(f *testing.F) {
 		"Require Import X.",
 		"Hint Resolve a b.",
 		"Lemma broken", "Inductive : :=", "Proof. Qed.",
+		"Lemma no_qed : 0 = 0. Proof. reflexivity.",
+		"Inductive empty : Type :=.",
+		"Inductive w : nat := | c : w.",
+		"Hint Resolve.", "Require Export X.", "Axiom choice : True.",
+		"Lemma l : True.\nconstructor. Qed.",
 	} {
 		f.Add(seed)
 	}

@@ -90,10 +90,11 @@ func NewVernParser(src string) (*VernParser, error) {
 }
 
 // SpannedDecl pairs a declaration with its source text (used verbatim when
-// building prompts).
+// building prompts) and its source position (used by the static analyzers).
 type SpannedDecl struct {
 	Decl Decl
 	Src  string
+	Line int // 1-based line of the declaration's first token
 }
 
 // ParseFile parses all declarations in the source.
@@ -114,6 +115,7 @@ func (vp *VernParser) ParseFileSpans() ([]SpannedDecl, error) {
 	var out []SpannedDecl
 	for !vp.AtEOF() {
 		start := vp.cur().Pos
+		line := vp.cur().Line
 		d, err := vp.parseDecl()
 		if err != nil {
 			return nil, err
@@ -122,7 +124,7 @@ func (vp *VernParser) ParseFileSpans() ([]SpannedDecl, error) {
 		if vp.AtEOF() {
 			end = len(vp.src)
 		}
-		out = append(out, SpannedDecl{Decl: d, Src: strings.TrimSpace(vp.src[start:end])})
+		out = append(out, SpannedDecl{Decl: d, Src: strings.TrimSpace(vp.src[start:end]), Line: line})
 	}
 	return out, nil
 }

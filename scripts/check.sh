@@ -1,0 +1,21 @@
+#!/bin/sh
+# Extended verification gate: everything the tier-1 gate runs, plus go vet,
+# the race detector, and the repository's own static analyzers (cmd/lint).
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go run ./cmd/lint ./..."
+go run ./cmd/lint ./...
+
+echo "check: all gates passed"
