@@ -14,6 +14,7 @@ import (
 	"llmfscq/internal/eval"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
+	"llmfscq/internal/tactic"
 	"llmfscq/internal/textmetrics"
 	"llmfscq/internal/tokenizer"
 )
@@ -264,5 +265,73 @@ func BenchmarkWholeProof(b *testing.B) {
 			}
 		}
 		b.ReportMetric(100*float64(proved)/float64(len(ths)), "cov-%")
+	}
+}
+
+// BenchmarkPromptBuild measures prompt assembly for every test theorem in
+// both settings: "direct" re-renders and re-tokenizes the corpus per prompt
+// (the pre-cache behavior), "cached" assembles from the shared item cache
+// the grid scheduler uses.
+func BenchmarkPromptBuild(b *testing.B) {
+	c := loadCorpus(b)
+	hints := prompt.HintSplit(c, 0.5, 2025)
+	cache := prompt.NewCache(c, hints)
+	for _, bc := range []struct {
+		name  string
+		cache *prompt.Cache
+	}{{"direct", nil}, {"cached", cache}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, setting := range []prompt.Setting{prompt.Vanilla, prompt.Hint} {
+					pb := prompt.Builder{Corpus: c, Setting: setting, HintSet: hints, Window: model.GPT4o.ContextWindow, Cache: bc.cache}
+					for _, th := range c.Theorems {
+						total += pb.Build(th).TotalTokens
+					}
+				}
+				if total == 0 {
+					b.Fatal("empty prompts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestrictEnv measures building the restricted environment of
+// every theorem with a fresh runner per iteration — the single
+// declaration-order pass with shared immutable prefixes, against a full
+// per-theorem Env.Clone before this layer existed.
+func BenchmarkRestrictEnv(b *testing.B) {
+	c := loadCorpus(b)
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(c, 2025)
+		for _, th := range c.Theorems {
+			if env := r.RestrictEnv(th); env == nil {
+				b.Fatal("nil env")
+			}
+		}
+	}
+}
+
+// BenchmarkFingerprint measures state fingerprinting on fresh states (one
+// intros step deep, so goals carry hypotheses), the dedup operation every
+// search candidate pays.
+func BenchmarkFingerprint(b *testing.B) {
+	c := loadCorpus(b)
+	ths := c.Theorems
+	if len(ths) > 50 {
+		ths = ths[:50]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range ths {
+			st := tactic.NewState(c.Env, th.Stmt)
+			if ns, err := tactic.ApplySentence(st, "intros."); err == nil {
+				st = ns
+			}
+			if st.Fingerprint() == "" {
+				b.Fatal("empty fingerprint")
+			}
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"llmfscq/internal/analysis"
@@ -33,18 +34,47 @@ func main() {
 		ablate = flag.Bool("ablate", false, "search ablations (width, fuel, algorithm)")
 		all    = flag.Bool("all", false, "run everything")
 
-		seed       = flag.Int64("seed", 2025, "experiment seed")
-		queryLimit = flag.Int("fuel", 128, "model query limit")
-		width      = flag.Int("width", 8, "search width")
-		par        = flag.Int("par", runtime.NumCPU(), "parallel searches")
-		paperSamp  = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
-		only       = flag.String("model", "", "restrict to models whose name contains this substring")
-		lint       = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
+		seed        = flag.Int64("seed", 2025, "experiment seed")
+		queryLimit  = flag.Int("fuel", 128, "model query limit")
+		width       = flag.Int("width", 8, "search width")
+		par         = flag.Int("par", runtime.NumCPU(), "parallel searches (alias of -parallelism)")
+		parallelism = flag.Int("parallelism", 0, "bound on concurrent searches across the whole grid (overrides -par; 0 = use -par)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
+		only        = flag.String("model", "", "restrict to models whose name contains this substring")
+		lint        = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
 	)
 	flag.Parse()
 	if !(*fig1a || *fig1b || *table1 || *table2 || *fig2 || *probe || *whole || *ablate) {
 		*all = true
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}()
 
 	if *lint {
 		if err := lintCorpus(); err != nil {
@@ -61,14 +91,23 @@ func main() {
 	r.QueryLimit = *queryLimit
 	r.Width = *width
 	r.Parallelism = *par
+	if *parallelism > 0 {
+		r.Parallelism = *parallelism
+	}
 
 	test := r.TestSet()
 	fmt.Printf("corpus: %d theorems, %d in hint set, %d evaluated\n\n",
 		len(c.Theorems), len(c.Theorems)-len(test), len(test))
 
+	// Assemble the full (model, setting) × theorem matrix up front and fan
+	// it through one bounded worker pool, instead of running sweep after
+	// sweep and draining the pool at each boundary. Outcomes are placed at
+	// fixed coordinates, so the tables are byte-identical to the sequential
+	// schedule.
 	sweep := eval.NewSweep()
 	profiles := model.Paper()
 	large := map[string]bool{"GPT-4o": true, "Gemini 1.5 Pro": true, "Gemini 1.5 Pro (128k context)": true}
+	var jobs []eval.GridJob
 	for _, prof := range profiles {
 		if *only != "" && !strings.Contains(prof.Name, *only) {
 			continue
@@ -78,10 +117,12 @@ func main() {
 			ths = r.Subsample(test, 0.10)
 		}
 		for _, setting := range []prompt.Setting{prompt.Vanilla, prompt.Hint} {
-			outs := r.RunSweep(prof, setting, ths)
-			sweep.Add(prof.Name, setting.String(), outs)
-			fmt.Fprintf(os.Stderr, "ran %-30s %-8s (%d theorems)\n", prof.Name, setting, len(ths))
+			jobs = append(jobs, eval.GridJob{Profile: prof, Setting: setting, Theorems: ths})
 		}
+	}
+	for i, outs := range r.RunGrid(jobs) {
+		sweep.Add(jobs[i].Profile.Name, jobs[i].Setting.String(), outs)
+		fmt.Fprintf(os.Stderr, "ran %-30s %-8s (%d theorems)\n", jobs[i].Profile.Name, jobs[i].Setting, len(jobs[i].Theorems))
 	}
 	fmt.Fprintln(os.Stderr)
 

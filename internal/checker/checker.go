@@ -113,17 +113,24 @@ func (s *Session) Add(sentence string) error {
 func (s *Session) Queued() int { return len(s.queue) }
 
 // ExecQueued executes the queued sentences in order, stopping at the first
-// failure (whose Result it returns).
+// failure (whose Result it returns; the unexecuted remainder stays queued).
+// The queue's backing array is reused across Add/ExecQueued cycles: draining
+// shifts survivors to the front and clears the tail instead of re-slicing
+// forward, which would pin every executed sentence for the session's
+// lifetime and grow the array without bound.
 func (s *Session) ExecQueued() Result {
 	res := Result{Status: Applied, State: s.Tip(), NumGoals: len(s.Tip().Goals)}
-	for len(s.queue) > 0 {
-		sentence := s.queue[0]
-		s.queue = s.queue[1:]
-		res = s.Exec(sentence)
+	for i := 0; i < len(s.queue); i++ {
+		res = s.Exec(s.queue[i])
 		if res.Status != Applied {
+			n := copy(s.queue, s.queue[i+1:])
+			clear(s.queue[n:])
+			s.queue = s.queue[:n]
 			return res
 		}
 	}
+	clear(s.queue)
+	s.queue = s.queue[:0]
 	return res
 }
 

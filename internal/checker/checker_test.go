@@ -120,3 +120,47 @@ func TestAddQueueExec(t *testing.T) {
 		t.Fatalf("executed %d sentences before failure", s2.Len())
 	}
 }
+
+// ExecQueued must drain into the same backing array instead of re-slicing
+// forward: repeated Add/ExecQueued cycles on one session previously pinned
+// every executed sentence and grew the array without bound.
+func TestExecQueuedReusesBackingArray(t *testing.T) {
+	c, _ := corpus.Default()
+	s, err := NewSessionNamed(c.Env, "app_nil_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := []string{"induction l.", "reflexivity.", "simpl.", "rewrite IHl.", "reflexivity."}
+	for i, tac := range script {
+		if err := s.Add(tac); err != nil {
+			t.Fatal(err)
+		}
+		if res := s.ExecQueued(); res.Status != Applied {
+			t.Fatalf("step %d: %v", i, res.Err)
+		}
+		if s.Queued() != 0 {
+			t.Fatalf("step %d: %d sentences left queued", i, s.Queued())
+		}
+		if cap(s.queue) > len(script) {
+			t.Fatalf("step %d: queue capacity grew to %d", i, cap(s.queue))
+		}
+	}
+	if !s.Proved() {
+		t.Fatal("not proved")
+	}
+
+	// On failure, the unexecuted remainder must survive at the queue front.
+	s2, _ := NewSessionNamed(c.Env, "plus_n_O")
+	_ = s2.Add("induction n.")
+	_ = s2.Add("rewrite IHn.") // wrong in the first subgoal
+	_ = s2.Add("reflexivity.")
+	if res := s2.ExecQueued(); res.Status != Rejected {
+		t.Fatalf("expected rejection, got %v", res.Status)
+	}
+	if s2.Queued() != 1 {
+		t.Fatalf("remainder lost: %d queued", s2.Queued())
+	}
+	if s2.queue[0] != "reflexivity." {
+		t.Fatalf("wrong remainder: %q", s2.queue[0])
+	}
+}

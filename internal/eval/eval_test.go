@@ -39,7 +39,7 @@ func TestTestSetExcludesHints(t *testing.T) {
 func TestRestrictEnvCutsFuture(t *testing.T) {
 	r, c := runner(t)
 	th, _ := c.TheoremNamed("plus_comm")
-	env := r.restrictEnv(th)
+	env := r.RestrictEnv(th)
 	if _, ok := env.Lemmas["plus_comm"]; ok {
 		t.Fatal("theorem can see itself")
 	}
@@ -77,7 +77,7 @@ func TestFoundProofsReplay(t *testing.T) {
 		}
 		proved++
 		th, _ := c.TheoremNamed(o.Theorem)
-		env := r.restrictEnv(th)
+		env := r.RestrictEnv(th)
 		if err := replayCheck(env, th, o.Proof); err != nil {
 			t.Errorf("%s: generated proof does not replay: %v", o.Theorem, err)
 		}

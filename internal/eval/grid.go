@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"llmfscq/internal/corpus"
+	"llmfscq/internal/model"
+	"llmfscq/internal/prompt"
+)
+
+// GridJob is one (model, setting) sweep of the experiment grid.
+type GridJob struct {
+	Profile  model.Profile
+	Setting  prompt.Setting
+	Theorems []*corpus.Theorem
+}
+
+// RunGrid evaluates the whole (model, setting) × theorem job matrix through
+// one bounded worker pool, instead of parallelizing only within a sweep and
+// idling the pool between sweeps. Every unit is an independent search with
+// its own jobSeed-derived RNG, so the schedule cannot influence any
+// outcome: results land at fixed (job, theorem) coordinates and are
+// byte-identical across Parallelism settings.
+func (r *Runner) RunGrid(jobs []GridJob) [][]Outcome {
+	out := make([][]Outcome, len(jobs))
+	type unit struct{ job, th int }
+	var units []unit
+	for i := range jobs {
+		out[i] = make([]Outcome, len(jobs[i].Theorems))
+		for t := range jobs[i].Theorems {
+			units = append(units, unit{job: i, th: t})
+		}
+	}
+	run := func(u unit) {
+		j := jobs[u.job]
+		out[u.job][u.th] = r.RunTheorem(j.Profile, j.Setting, j.Theorems[u.th])
+	}
+	par := r.Parallelism
+	if par > len(units) {
+		par = len(units)
+	}
+	if par <= 1 {
+		for _, u := range units {
+			run(u)
+		}
+		return out
+	}
+	// Workers pull the next unit off a shared counter; no per-unit
+	// goroutine and no channel churn for ~2,500-unit grids.
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(units)) {
+					return
+				}
+				run(units[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -54,9 +54,33 @@ type Runner struct {
 	// Search selects the algorithm (default core.BestFirst).
 	Search func(core.Config) core.Result
 
-	// envCache maps theorem name -> *kernel.Env; a pointer so Runner
-	// values can be copied for ablation variants (the cache is shared).
-	envCache *sync.Map
+	// The caches below are pointers so Runner values can be copied for
+	// ablation variants (width/fuel/algorithm changes) while sharing the
+	// corpus-derived state, none of which depends on those knobs.
+
+	// envs holds the per-theorem restricted environments, built lazily in
+	// one declaration-order pass over the corpus.
+	envs *envIndex
+	// prompts holds the pre-rendered, pre-tokenized context items for both
+	// settings (see prompt.NewCache), built on first prompt assembly.
+	prompts *promptIndex
+	// ngrams memoizes n-gram models by the prompt's hinted-item set: the
+	// mined statistics depend only on which hint proofs are visible, which
+	// the whole grid shares far more often than it differs.
+	ngrams *sync.Map
+}
+
+// envIndex caches the restricted environments behind a once so that Runner
+// copies (which share the pointer) build them a single time.
+type envIndex struct {
+	once   sync.Once
+	byName map[string]*kernel.Env
+}
+
+// promptIndex caches the prompt item cache the same way.
+type promptIndex struct {
+	once  sync.Once
+	cache *prompt.Cache
 }
 
 // NewRunner builds a runner with the paper's hyperparameters and the fixed
@@ -68,7 +92,9 @@ func NewRunner(c *corpus.Corpus, seed int64) *Runner {
 		Width:      8,
 		QueryLimit: 128,
 		Seed:       seed,
-		envCache:   &sync.Map{},
+		envs:       &envIndex{},
+		prompts:    &promptIndex{},
+		ngrams:     &sync.Map{},
 	}
 }
 
@@ -99,41 +125,103 @@ func (r *Runner) Subsample(ths []*corpus.Theorem, frac float64) []*corpus.Theore
 	return sel
 }
 
-// restrictEnv returns the environment as it stood just before the theorem
+// RestrictEnv returns the environment as it stood just before the theorem
 // was declared: the prover may not use the theorem itself or anything
 // declared after it.
-func (r *Runner) restrictEnv(th *corpus.Theorem) *kernel.Env {
-	if cached, ok := r.envCache.Load(th.Name); ok {
-		return cached.(*kernel.Env)
+//
+// All restricted environments are built together in one declaration-order
+// pass over the corpus (see buildPrefixEnvs); per theorem only the lemma
+// and hint maps are snapshotted, everything else — the datatype, function,
+// predicate, and definition maps, the declarations themselves, and the
+// LemmaOrder backing array — is shared with the full environment, which the
+// tactic layer treats as immutable.
+func (r *Runner) RestrictEnv(th *corpus.Theorem) *kernel.Env {
+	if r.envs == nil {
+		return restrictOne(r.Corpus.Env, th.Name)
 	}
-	full := r.Corpus.Env
-	env := full.Clone()
-	// Find the cut point in declaration order.
-	cut := -1
+	r.envs.once.Do(func() {
+		r.envs.byName = buildPrefixEnvs(r.Corpus.Env)
+	})
+	if env, ok := r.envs.byName[th.Name]; ok {
+		return env
+	}
+	return restrictOne(r.Corpus.Env, th.Name)
+}
+
+// buildPrefixEnvs walks LemmaOrder once, snapshotting the growing lemma
+// prefix just before each declaration. The snapshot for lemma i costs O(i)
+// map inserts and shares every other structure with the full environment —
+// unlike a per-theorem Env.Clone, which copied all six maps and re-scanned
+// LemmaOrder for every theorem.
+func buildPrefixEnvs(full *kernel.Env) map[string]*kernel.Env {
+	// lemIdx positions each lemma-backed hint so the per-theorem hint
+	// filter is a single comparison.
+	lemIdx := make(map[string]int, len(full.LemmaOrder))
 	for i, name := range full.LemmaOrder {
-		if name == th.Name {
+		lemIdx[name] = i
+	}
+	envs := make(map[string]*kernel.Env, len(full.LemmaOrder))
+	running := make(map[string]*kernel.Lemma, len(full.LemmaOrder))
+	for i, name := range full.LemmaOrder {
+		lemmas := make(map[string]*kernel.Lemma, len(running))
+		for k, v := range running {
+			lemmas[k] = v
+		}
+		hints := make(map[string]bool, len(full.Hints))
+		hintOrder := make([]string, 0, len(full.HintOrder))
+		for _, h := range full.HintOrder {
+			// Hints name lemmas or inductive rules; rules are never cut.
+			if idx, isLemma := lemIdx[h]; isLemma && idx >= i {
+				continue
+			}
+			hints[h] = true
+			hintOrder = append(hintOrder, h)
+		}
+		envs[name] = &kernel.Env{
+			Datatypes:  full.Datatypes,
+			ConstrData: full.ConstrData,
+			Funs:       full.Funs,
+			Preds:      full.Preds,
+			Defs:       full.Defs,
+			Lemmas:     lemmas,
+			LemmaOrder: full.LemmaOrder[:i:i],
+			Hints:      hints,
+			HintOrder:  hintOrder,
+		}
+		running[name] = full.Lemmas[name]
+	}
+	return envs
+}
+
+// restrictOne is the uncached fallback (zero-value Runners, names outside
+// the corpus): the original clone-and-delete restriction.
+func restrictOne(full *kernel.Env, name string) *kernel.Env {
+	env := full.Clone()
+	cut := -1
+	for i, n := range full.LemmaOrder {
+		if n == name {
 			cut = i
 			break
 		}
 	}
-	if cut >= 0 {
-		removed := map[string]bool{}
-		for _, name := range full.LemmaOrder[cut:] {
-			removed[name] = true
-			delete(env.Lemmas, name)
-		}
-		env.LemmaOrder = append([]string(nil), full.LemmaOrder[:cut]...)
-		var hints []string
-		for _, h := range env.HintOrder {
-			if removed[h] {
-				delete(env.Hints, h)
-				continue
-			}
-			hints = append(hints, h)
-		}
-		env.HintOrder = hints
+	if cut < 0 {
+		return env
 	}
-	r.envCache.Store(th.Name, env)
+	removed := map[string]bool{}
+	for _, n := range full.LemmaOrder[cut:] {
+		removed[n] = true
+		delete(env.Lemmas, n)
+	}
+	env.LemmaOrder = append([]string(nil), full.LemmaOrder[:cut]...)
+	var hints []string
+	for _, h := range env.HintOrder {
+		if removed[h] {
+			delete(env.Hints, h)
+			continue
+		}
+		hints = append(hints, h)
+	}
+	env.HintOrder = hints
 	return env
 }
 
@@ -148,21 +236,60 @@ func (r *Runner) jobSeed(thName, modelName, setting string) int64 {
 	return r.Seed ^ int64(h.Sum64())
 }
 
-// RunTheorem searches for a proof of one theorem with one model/setting.
-func (r *Runner) RunTheorem(prof model.Profile, setting prompt.Setting, th *corpus.Theorem) Outcome {
-	env := r.restrictEnv(th)
-	b := prompt.Builder{
+// builder assembles a prompt.Builder for one model/setting, wired to the
+// shared item cache when the runner has one.
+func (r *Runner) builder(prof model.Profile, setting prompt.Setting) prompt.Builder {
+	var cache *prompt.Cache
+	if r.prompts != nil {
+		r.prompts.once.Do(func() {
+			r.prompts.cache = prompt.NewCache(r.Corpus, r.HintSet)
+		})
+		cache = r.prompts.cache
+	}
+	return prompt.Builder{
 		Corpus:  r.Corpus,
 		Setting: setting,
 		HintSet: r.HintSet,
 		Window:  prof.ContextWindow,
+		Cache:   cache,
 	}
+}
+
+// ngramFor returns the n-gram model mined from the prompt's hint proofs,
+// memoized on the ordered set of proof-bearing items: lemma names map to
+// fixed proofs, so two prompts exposing the same hinted items (the common
+// case across a sweep — truncation mostly drops proof-less statements)
+// yield identical models. The cached model is immutable and shared across
+// grid workers.
+func (r *Runner) ngramFor(pr *prompt.Prompt) *model.NGram {
+	if r.ngrams == nil {
+		return model.BuildNGram(pr)
+	}
+	var key strings.Builder
+	for i := range pr.Items {
+		if pr.Items[i].Proof != "" {
+			key.WriteString(pr.Items[i].Name)
+			key.WriteByte(0)
+		}
+	}
+	k := key.String()
+	if cached, ok := r.ngrams.Load(k); ok {
+		return cached.(*model.NGram)
+	}
+	ng, _ := r.ngrams.LoadOrStore(k, model.BuildNGram(pr))
+	return ng.(*model.NGram)
+}
+
+// RunTheorem searches for a proof of one theorem with one model/setting.
+func (r *Runner) RunTheorem(prof model.Profile, setting prompt.Setting, th *corpus.Theorem) Outcome {
+	env := r.RestrictEnv(th)
+	b := r.builder(prof, setting)
 	pr := b.Build(th)
 	return r.runWithPrompt(prof, setting, th, env, pr)
 }
 
 func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, env *kernel.Env, pr *prompt.Prompt) Outcome {
-	ng := model.BuildNGram(pr)
+	ng := r.ngramFor(pr)
 	mdl := model.New(prof, env)
 	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String())))
 
@@ -211,41 +338,16 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 // RunReduced runs the §4.3 probe: the same search but with a hand-reduced,
 // dependency-only context.
 func (r *Runner) RunReduced(prof model.Profile, setting prompt.Setting, th *corpus.Theorem) Outcome {
-	env := r.restrictEnv(th)
-	b := prompt.Builder{
-		Corpus:  r.Corpus,
-		Setting: setting,
-		HintSet: r.HintSet,
-		Window:  prof.ContextWindow,
-	}
+	env := r.RestrictEnv(th)
+	b := r.builder(prof, setting)
 	pr := b.ReducedContext(th)
 	return r.runWithPrompt(prof, setting, th, env, pr)
 }
 
 // RunSweep evaluates a model over theorems in one setting, fanning out over
-// a bounded worker pool; results keep theorem order.
+// the grid scheduler's bounded worker pool; results keep theorem order.
 func (r *Runner) RunSweep(prof model.Profile, setting prompt.Setting, ths []*corpus.Theorem) []Outcome {
-	out := make([]Outcome, len(ths))
-	par := r.Parallelism
-	if par <= 1 {
-		for i, th := range ths {
-			out[i] = r.RunTheorem(prof, setting, th)
-		}
-		return out
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, th := range ths {
-		wg.Add(1)
-		go func(i int, th *corpus.Theorem) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = r.RunTheorem(prof, setting, th)
-		}(i, th)
-	}
-	wg.Wait()
-	return out
+	return r.RunGrid([]GridJob{{Profile: prof, Setting: setting, Theorems: ths}})[0]
 }
 
 // RunWholeProof runs the §4.3 whole-proof probe: the model writes a
@@ -253,10 +355,10 @@ func (r *Runner) RunSweep(prof model.Profile, setting prompt.Setting, ths []*cor
 // independent samples) and the script is verified afterwards. Returns an
 // Outcome whose Status is Proved only if some attempt replays.
 func (r *Runner) RunWholeProof(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, attempts int) Outcome {
-	env := r.restrictEnv(th)
-	b := prompt.Builder{Corpus: r.Corpus, Setting: setting, HintSet: r.HintSet, Window: prof.ContextWindow}
+	env := r.RestrictEnv(th)
+	b := r.builder(prof, setting)
 	pr := b.Build(th)
-	ng := model.BuildNGram(pr)
+	ng := r.ngramFor(pr)
 	mdl := model.New(prof, env)
 	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String()+"/whole")))
 

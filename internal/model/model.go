@@ -23,9 +23,23 @@ type Candidate struct {
 
 // Model is a simulated LLM: a capability profile bound to an environment
 // (used only to parse the lemma statements that are visible in the prompt).
+// A Model is owned by one proof search at a time: the retrieval index is a
+// per-(prompt, n-gram) memo and is not safe for concurrent Propose calls
+// on the same Model (grid workers each build their own).
 type Model struct {
 	Profile Profile
 	Env     *kernel.Env
+	retr    *retrIndex
+	norm    map[string]string // candidate text -> dedup key memo
+
+	// Propose scratch space, reused across the queries of a search. The
+	// sweep spends most of its time in Propose, and per-query maps and
+	// slices were the dominant allocation source.
+	pool, uniq         []scored
+	byText             map[string]int
+	goalSyms, hypSyms  map[string]bool
+	utils, probs, keys []float64
+	order              []int
 }
 
 // New binds a profile to an environment.
@@ -49,8 +63,8 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 		return nil
 	}
 	goal := st.Goals[0]
-	pool := m.structural(goal)
-	pool = append(pool, m.retrieval(p, goal, ng)...)
+	pool := m.structural(m.pool[:0], goal)
+	pool = m.retrieval(pool, p, goal, ng)
 
 	prev := "<start>"
 	if len(path) > 0 {
@@ -68,13 +82,26 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	}
 	// Capability noise: corrupted names and junk tactics compete with the
 	// real candidates.
-	pool = append(pool, m.junk(goal, p, rng)...)
+	pool = m.junk(pool, goal, p, rng)
 
-	// Deduplicate, keeping the best-scored variant.
-	byText := map[string]int{}
-	var uniq []scored
+	// Deduplicate, keeping the best-scored variant. The normalized key is
+	// memoized per text: candidate texts repeat across the queries of a
+	// search (the retrieval pool is mostly stable), and normalization is a
+	// pure string function.
+	if m.norm == nil {
+		m.norm = map[string]string{}
+		m.byText = map[string]int{}
+	} else {
+		clear(m.byText)
+	}
+	byText := m.byText
+	uniq := m.uniq[:0]
 	for _, c := range pool {
-		key := strings.TrimSuffix(textmetrics.NormalizeScript(c.text), ".")
+		key, ok := m.norm[c.text]
+		if !ok {
+			key = strings.TrimSuffix(textmetrics.NormalizeScript(c.text), ".")
+			m.norm[c.text] = key
+		}
 		if key == "" {
 			continue
 		}
@@ -93,6 +120,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 		byText[key] = len(uniq)
 		uniq = append(uniq, scored{text: key, h: c.h, r: c.r, j: c.j})
 	}
+	m.pool, m.uniq = pool, uniq
 	if len(uniq) == 0 {
 		return nil
 	}
@@ -102,7 +130,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// a confident model emits duplicates, shrinking the effective search
 	// width — the reason the paper sees far more "stuck" than "fuelout".
 	prof := m.Profile
-	utils := make([]float64, len(uniq))
+	utils := resize(&m.utils, len(uniq))
 	maxU := math.Inf(-1)
 	for i, c := range uniq {
 		g := 0.0
@@ -119,7 +147,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	if temp <= 0 {
 		temp = 0.01
 	}
-	probs := make([]float64, len(uniq))
+	probs := resize(&m.probs, len(uniq))
 	var z float64
 	for i, u := range utils {
 		probs[i] = math.Exp((u - maxU) / temp)
@@ -132,11 +160,11 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// confidence pruning then drops candidates far below the mode — a
 	// confident model's k samples concentrate and return fewer distinct
 	// tactics (why the paper sees more "stuck" than "fuelout").
-	keys := make([]float64, len(uniq))
+	keys := resize(&m.keys, len(uniq))
 	for i, p := range probs {
 		keys[i] = math.Log(p) + gumbel(rng)
 	}
-	order := make([]int, len(uniq))
+	order := resizeInt(&m.order, len(uniq))
 	for i := range order {
 		order[i] = i
 	}
@@ -166,6 +194,24 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].LogProb > out[b].LogProb })
 	return out
+}
+
+// resize returns *buf with length n, growing the backing array only when
+// needed.
+func resize(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func resizeInt(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // gumbel draws a standard Gumbel variate.
@@ -214,6 +260,57 @@ func symbolsOf(f *kernel.Form, out map[string]bool) {
 	case kernel.FForall, kernel.FExists:
 		symbolsOf(f.Body, out)
 	}
+}
+
+// orderedSymbols returns the unique applied symbols of f in deterministic
+// first-encounter order. The retrieval index stores symbol lists (a map
+// range would sum the overlap score in randomized order), so the walk
+// order here is the iteration order of the cached scoring loop.
+func orderedSymbols(f *kernel.Form) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	var walk func(f *kernel.Form)
+	walk = func(f *kernel.Form) {
+		if f == nil {
+			return
+		}
+		term := func(t *kernel.Term) {
+			if t == nil {
+				return
+			}
+			t.Subterms(func(u *kernel.Term) bool {
+				if u.IsApp() && u.Fun != "" {
+					add(u.Fun)
+				}
+				return true
+			})
+		}
+		switch f.Kind {
+		case kernel.FEq:
+			term(f.T1)
+			term(f.T2)
+		case kernel.FPred:
+			add(f.Pred)
+			for _, a := range f.Args {
+				term(a)
+			}
+		case kernel.FNot:
+			walk(f.L)
+		case kernel.FAnd, kernel.FOr, kernel.FImpl, kernel.FIff:
+			walk(f.L)
+			walk(f.R)
+		case kernel.FForall, kernel.FExists:
+			walk(f.Body)
+		}
+	}
+	walk(f)
+	return out
 }
 
 func conclHead(f *kernel.Form) string {
@@ -305,8 +402,7 @@ func looksArith(f *kernel.Form) bool {
 	return false
 }
 
-func (m *Model) structural(g *tactic.Goal) []scored {
-	var out []scored
+func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 	add := func(text string, h float64) { out = append(out, scored{text: text, h: h}) }
 	c := g.Concl
 
@@ -659,18 +755,40 @@ func (m *Model) recursiveArgVars(f *kernel.Form) map[string]bool {
 // ---------------------------------------------------------------------------
 // Retrieval from the visible prompt
 
-func (m *Model) retrieval(p *prompt.Prompt, g *tactic.Goal, ng *NGram) []scored {
-	var out []scored
-	goalSyms := map[string]bool{}
-	symbolsOf(g.Concl, goalSyms)
-	hypSyms := map[string]bool{}
-	for _, h := range g.Hyps {
-		symbolsOf(h.Form, hypSyms)
-	}
-	gh := goalHead(g.Concl)
-	prof := m.Profile
+// lemRecord is the goal-independent analysis of one lemma visible in a
+// prompt: statement symbols, position decay, hint-proof usage, conclusion
+// shape, and the pre-rendered candidate texts. A search queries the model
+// up to fuel times against the same prompt, so this is computed once per
+// (prompt, n-gram) pair instead of per query.
+type lemRecord struct {
+	name                               string
+	syms                               []string // unique statement symbols, deterministic walk order
+	sqrtN                              float64  // sqrt(len(syms)), the overlap normalizer
+	quality                            float64  // RetrievalSkill * position decay
+	usage                              float64  // log1p(hint-proof usage count)
+	isEq                               bool
+	lhsHead                            string // head symbol of the equation LHS ("" if none)
+	concl                              string // goal head of the conclusion
+	premHead                           string // goal head of the first premise ("" if no premises)
+	hasPrems                           bool
+	rewrite, rewriteRev, apply, eapply string
+}
 
+type retrIndex struct {
+	prompt *prompt.Prompt
+	ng     *NGram
+	lems   []lemRecord
+}
+
+// retrIndexFor returns the per-prompt retrieval index, rebuilding it only
+// when the (prompt, n-gram) pair changes.
+func (m *Model) retrIndexFor(p *prompt.Prompt, ng *NGram) []lemRecord {
+	if m.retr != nil && m.retr.prompt == p && m.retr.ng == ng {
+		return m.retr.lems
+	}
+	prof := m.Profile
 	n := len(p.Items)
+	var lems []lemRecord
 	for i, it := range p.Items {
 		if it.Kind != corpus.ItemLemma {
 			continue
@@ -681,70 +799,100 @@ func (m *Model) retrieval(p *prompt.Prompt, g *tactic.Goal, ng *NGram) []scored 
 		}
 		dist := float64(n - 1 - i)
 		decay := math.Exp2(-dist / prof.DistractionHalfLife)
-		quality := prof.RetrievalSkill * decay
+		rec := lemRecord{
+			name:       it.Name,
+			quality:    prof.RetrievalSkill * decay,
+			rewrite:    "rewrite " + it.Name + ".",
+			rewriteRev: "rewrite <- " + it.Name + ".",
+			apply:      "apply " + it.Name + ".",
+			eapply:     "eapply " + it.Name + ".",
+		}
 		// Usage statistics from hint proofs: lemmas the humans applied
 		// often are much easier for the model to surface.
-		usage := 0.0
 		if ng != nil {
-			usage = math.Log1p(ng.NameUsage(it.Name))
+			rec.usage = math.Log1p(ng.NameUsage(it.Name))
 		}
-
 		_, matrix := lem.Stmt.StripForalls()
 		prems, concl := matrix.StripImpls()
+		rec.syms = orderedSymbols(lem.Stmt)
+		rec.sqrtN = math.Sqrt(float64(len(rec.syms)))
+		rec.isEq = concl.Kind == kernel.FEq
+		if rec.isEq && concl.T1.IsApp() {
+			rec.lhsHead = concl.T1.Fun
+		}
+		rec.concl = goalHead(concl)
+		rec.hasPrems = len(prems) > 0
+		if rec.hasPrems {
+			rec.premHead = goalHead(stripQuant(prems[0]))
+		}
+		lems = append(lems, rec)
+	}
+	m.retr = &retrIndex{prompt: p, ng: ng, lems: lems}
+	return lems
+}
 
-		lemSyms := map[string]bool{}
-		symbolsOf(lem.Stmt, lemSyms)
+func (m *Model) retrieval(out []scored, p *prompt.Prompt, g *tactic.Goal, ng *NGram) []scored {
+	if m.goalSyms == nil {
+		m.goalSyms, m.hypSyms = map[string]bool{}, map[string]bool{}
+	} else {
+		clear(m.goalSyms)
+		clear(m.hypSyms)
+	}
+	goalSyms, hypSyms := m.goalSyms, m.hypSyms
+	symbolsOf(g.Concl, goalSyms)
+	for _, h := range g.Hyps {
+		symbolsOf(h.Form, hypSyms)
+	}
+	gh := goalHead(g.Concl)
+
+	for i := range m.retrIndexFor(p, ng) {
+		rec := &m.retr.lems[i]
 		overlap := 0.0
-		for s := range lemSyms {
+		for _, s := range rec.syms {
 			if goalSyms[s] {
 				overlap += 1.0
 			} else if hypSyms[s] {
 				overlap += 0.4
 			}
 		}
-		if len(lemSyms) > 0 {
-			overlap /= math.Sqrt(float64(len(lemSyms)))
+		if len(rec.syms) > 0 {
+			overlap /= rec.sqrtN
 		}
 
-		rel := (overlap + 1.6*usage) * quality
-		if concl.Kind == kernel.FEq {
+		rel := (overlap + 1.6*rec.usage) * rec.quality
+		if rec.isEq {
 			// Equation: rewriting material.
-			lhsHead := ""
-			if concl.T1.IsApp() {
-				lhsHead = concl.T1.Fun
-			}
 			w := rel
-			if lhsHead != "" && goalSyms[lhsHead] {
-				w += 1.3 * quality
+			if rec.lhsHead != "" && goalSyms[rec.lhsHead] {
+				w += 1.3 * rec.quality
 			}
-			out = append(out, scored{text: fmt.Sprintf("rewrite %s.", it.Name), r: w})
-			out = append(out, scored{text: fmt.Sprintf("rewrite <- %s.", it.Name), r: 0.4 * w})
-			if lhsHead != "" && hypSyms[lhsHead] {
+			out = append(out, scored{text: rec.rewrite, r: w})
+			out = append(out, scored{text: rec.rewriteRev, r: 0.4 * w})
+			if rec.lhsHead != "" && hypSyms[rec.lhsHead] {
 				for _, h := range g.Hyps {
 					hs := map[string]bool{}
 					symbolsOf(h.Form, hs)
-					if hs[lhsHead] {
-						out = append(out, scored{text: fmt.Sprintf("rewrite %s in %s.", it.Name, h.Name), r: 0.8 * w})
+					if hs[rec.lhsHead] {
+						out = append(out, scored{text: fmt.Sprintf("rewrite %s in %s.", rec.name, h.Name), r: 0.8 * w})
 						break
 					}
 				}
 			}
 		}
-		if hk := goalHead(concl); hk == gh {
-			w := rel + 1.1*quality
-			out = append(out, scored{text: fmt.Sprintf("apply %s.", it.Name), r: w})
-			if len(prems) > 0 {
-				out = append(out, scored{text: fmt.Sprintf("eapply %s.", it.Name), r: 0.7 * w})
+		if rec.concl == gh {
+			w := rel + 1.1*rec.quality
+			out = append(out, scored{text: rec.apply, r: w})
+			if rec.hasPrems {
+				out = append(out, scored{text: rec.eapply, r: 0.7 * w})
 			}
 		} else if overlap > 0.5 {
-			out = append(out, scored{text: fmt.Sprintf("apply %s.", it.Name), r: 0.3 * rel})
+			out = append(out, scored{text: rec.apply, r: 0.3 * rel})
 		}
 		// Forward chaining into a matching hypothesis.
-		if len(prems) > 0 {
-			ph := goalHead(stripQuant(prems[0]))
+		if rec.hasPrems && rec.premHead != "?" {
 			for _, h := range g.Hyps {
-				if goalHead(h.Form) == ph && ph != "?" {
-					out = append(out, scored{text: fmt.Sprintf("apply %s in %s.", it.Name, h.Name), r: 0.5 * rel})
+				if goalHead(h.Form) == rec.premHead {
+					out = append(out, scored{text: fmt.Sprintf("apply %s in %s.", rec.name, h.Name), r: 0.5 * rel})
 					break
 				}
 			}
@@ -768,10 +916,9 @@ var junkTactics = []string{
 	"intuition.", "easy.", "now auto.", "simpl in *.",
 }
 
-func (m *Model) junk(g *tactic.Goal, p *prompt.Prompt, rng *rand.Rand) []scored {
+func (m *Model) junk(out []scored, g *tactic.Goal, p *prompt.Prompt, rng *rand.Rand) []scored {
 	prof := m.Profile
 	nJunk := int(math.Round(prof.NoiseRate * 10))
-	var out []scored
 	level := 3.4 * prof.NoiseRate
 	for i := 0; i < nJunk; i++ {
 		u := (0.4 + rng.Float64()) * level
@@ -796,12 +943,7 @@ func (m *Model) junk(g *tactic.Goal, p *prompt.Prompt, rng *rand.Rand) []scored 
 }
 
 func randomLemma(p *prompt.Prompt, rng *rand.Rand) string {
-	var names []string
-	for _, it := range p.Items {
-		if it.Kind == corpus.ItemLemma {
-			names = append(names, it.Name)
-		}
-	}
+	names := p.LemmaNames()
 	if len(names) == 0 {
 		return ""
 	}

@@ -14,7 +14,6 @@ import (
 	"strings"
 
 	"llmfscq/internal/corpus"
-	"llmfscq/internal/tokenizer"
 )
 
 // Setting selects the paper's two prompt configurations.
@@ -58,17 +57,42 @@ type Prompt struct {
 	Window int
 	// Dropped counts the items removed by truncation.
 	Dropped int
+
+	// lemmaSet and lemmaNames index the lemma items that survived
+	// truncation, built on first use (prompts are used by one search
+	// goroutine, so the lazy build needs no lock).
+	lemmaSet   map[string]bool
+	lemmaNames []string
+}
+
+func (p *Prompt) ensureLemmaIndex() {
+	if p.lemmaSet != nil {
+		return
+	}
+	set := make(map[string]bool)
+	names := make([]string, 0, len(p.Items))
+	for i := range p.Items {
+		if p.Items[i].Kind == corpus.ItemLemma {
+			set[p.Items[i].Name] = true
+			names = append(names, p.Items[i].Name)
+		}
+	}
+	p.lemmaSet = set
+	p.lemmaNames = names
 }
 
 // LemmaVisible reports whether a lemma statement with the given name
 // survived truncation (the model can only use what it can read).
 func (p *Prompt) LemmaVisible(name string) bool {
-	for i := range p.Items {
-		if p.Items[i].Name == name && p.Items[i].Kind == corpus.ItemLemma {
-			return true
-		}
-	}
-	return false
+	p.ensureLemmaIndex()
+	return p.lemmaSet[name]
+}
+
+// LemmaNames returns the names of the visible lemma items in prompt order.
+// The slice is shared; callers must not mutate it.
+func (p *Prompt) LemmaNames() []string {
+	p.ensureLemmaIndex()
+	return p.lemmaNames
 }
 
 // HintSplit deterministically selects frac of all theorems as the hint set,
@@ -99,28 +123,21 @@ type Builder struct {
 	HintSet map[string]bool
 	// Window is the model's context window in tokens (0 = unlimited).
 	Window int
+	// Cache, when set, supplies pre-rendered and pre-tokenized items (see
+	// NewCache); Build then assembles prompts by slicing instead of
+	// re-tokenizing the corpus per job. Optional: with a nil Cache, Build
+	// renders from the corpus directly with identical results.
+	Cache *Cache
 }
 
 // Build assembles the prompt for a target theorem.
 func (b *Builder) Build(th *corpus.Theorem) *Prompt {
+	if b.Cache != nil {
+		return b.Cache.build(th, b.Setting, b.Window)
+	}
 	var items []Item
 	add := func(it corpus.Item, includeProof bool) {
-		text := it.Src
-		proof := ""
-		if it.Kind == corpus.ItemLemma {
-			if includeProof {
-				proof = it.Proof
-			} else {
-				text = it.StmtSrc
-			}
-		}
-		items = append(items, Item{
-			Kind:   it.Kind,
-			Name:   it.Name,
-			Text:   text,
-			Proof:  proof,
-			Tokens: tokenizer.Count(text),
-		})
+		items = append(items, renderItem(it, includeProof))
 	}
 	for _, f := range b.Corpus.ImportClosure(th.File) {
 		fileItems := b.Corpus.Items[f]
@@ -175,7 +192,6 @@ func (p *Prompt) Text() string {
 // statement and its human proof) are kept. It models the paper's manual
 // context-reduction probe.
 func (b *Builder) ReducedContext(th *corpus.Theorem) *Prompt {
-	full := b.Build(th)
 	needed := map[string]bool{}
 	// Names appearing in the statement and the human proof script.
 	collect := func(text string) {
@@ -187,6 +203,12 @@ func (b *Builder) ReducedContext(th *corpus.Theorem) *Prompt {
 	}
 	collect(th.Stmt.String())
 	collect(th.Proof)
+	if b.Cache != nil {
+		// The cached path filters while assembling: the full (pre-filter)
+		// prompt is never materialized.
+		return b.Cache.reduced(th, b.Setting, b.Window, needed)
+	}
+	full := b.Build(th)
 	var kept []Item
 	total := 0
 	for _, it := range full.Items {

@@ -151,3 +151,89 @@ func TestPromptTextRenders(t *testing.T) {
 		t.Fatalf("prompt text:\n%s", text[:200])
 	}
 }
+
+// The cache must be a pure performance layer: for every theorem, setting,
+// and window, the cached builder and the direct builder must produce
+// identical prompts (items, tokens, truncation) — the determinism guarantee
+// the whole experiment grid rests on.
+func TestCacheMatchesDirectBuild(t *testing.T) {
+	c := loadCorpus(t)
+	hints := HintSplit(c, 0.5, 2025)
+	cache := NewCache(c, hints)
+	for _, setting := range []Setting{Vanilla, Hint} {
+		for _, window := range []int{0, 200, 4000} {
+			direct := Builder{Corpus: c, Setting: setting, HintSet: hints, Window: window}
+			cached := Builder{Corpus: c, Setting: setting, HintSet: hints, Window: window, Cache: cache}
+			for _, th := range c.Theorems {
+				a := direct.Build(th)
+				b := cached.Build(th)
+				if a.TotalTokens != b.TotalTokens || a.Dropped != b.Dropped || len(a.Items) != len(b.Items) {
+					t.Fatalf("%s/%s/w%d: shape differs: tokens %d vs %d, dropped %d vs %d, items %d vs %d",
+						th.Name, setting, window, a.TotalTokens, b.TotalTokens, a.Dropped, b.Dropped, len(a.Items), len(b.Items))
+				}
+				for i := range a.Items {
+					if a.Items[i] != b.Items[i] {
+						t.Fatalf("%s/%s/w%d: item %d differs: %+v vs %+v", th.Name, setting, window, i, a.Items[i], b.Items[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same purity requirement for the reduced-context path, which assembles
+// filtered prompts without materializing the full prompt.
+func TestCacheMatchesDirectReducedContext(t *testing.T) {
+	c := loadCorpus(t)
+	hints := HintSplit(c, 0.5, 2025)
+	cache := NewCache(c, hints)
+	for _, window := range []int{0, 500} {
+		direct := Builder{Corpus: c, Setting: Hint, HintSet: hints, Window: window}
+		cached := Builder{Corpus: c, Setting: Hint, HintSet: hints, Window: window, Cache: cache}
+		for _, th := range c.Theorems {
+			a := direct.ReducedContext(th)
+			b := cached.ReducedContext(th)
+			if a.TotalTokens != b.TotalTokens || len(a.Items) != len(b.Items) {
+				t.Fatalf("%s/w%d: reduced shape differs: tokens %d vs %d, items %d vs %d",
+					th.Name, window, a.TotalTokens, b.TotalTokens, len(a.Items), len(b.Items))
+			}
+			for i := range a.Items {
+				if a.Items[i] != b.Items[i] {
+					t.Fatalf("%s/w%d: reduced item %d differs", th.Name, window, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLemmaIndex(t *testing.T) {
+	c := loadCorpus(t)
+	b := Builder{Corpus: c, Setting: Vanilla, HintSet: map[string]bool{}}
+	th, _ := c.TheoremNamed("in_or_app")
+	p := b.Build(th)
+	names := p.LemmaNames()
+	if len(names) == 0 {
+		t.Fatal("no visible lemmas")
+	}
+	// The index must agree with a direct scan, in item order.
+	var want []string
+	for _, it := range p.Items {
+		if it.Kind == corpus.ItemLemma {
+			want = append(want, it.Name)
+		}
+	}
+	if len(names) != len(want) {
+		t.Fatalf("index has %d names, scan %d", len(names), len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("index order differs at %d: %s vs %s", i, names[i], want[i])
+		}
+		if !p.LemmaVisible(want[i]) {
+			t.Fatalf("LemmaVisible(%s) = false for a visible lemma", want[i])
+		}
+	}
+	if p.LemmaVisible("no_such_lemma") {
+		t.Fatal("LemmaVisible reports an absent lemma")
+	}
+}

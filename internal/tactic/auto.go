@@ -2,6 +2,7 @@ package tactic
 
 import (
 	"errors"
+	"sync"
 
 	"llmfscq/internal/kernel"
 )
@@ -22,7 +23,7 @@ func tacAuto(env *kernel.Env, g *Goal, depth int, eauto bool) ([]*Goal, error) {
 	if depth < 0 {
 		depth = autoDefaultDepth
 	}
-	r := &resolver{env: env, eauto: eauto, nodes: autoNodeBudget, ev: kernel.NewEvaluator(env)}
+	r := &resolver{env: env, eauto: eauto, nodes: autoNodeBudget, ev: kernel.NewEvaluator(env), hints: hintsFor(env)}
 	hyps := make([]*kernel.Form, len(g.Hyps))
 	for i, h := range g.Hyps {
 		hyps[i] = h.Form
@@ -50,6 +51,70 @@ type resolver struct {
 	mc    kernel.MetaCounter
 	rig   int // rigid fresh-variable counter
 	ev    *kernel.Evaluator
+	hints []hintEntry // the hint database, resolved once per auto call
+}
+
+// hintEntry is one resolved hint statement with its precomputed
+// fully-stripped head key.
+type hintEntry struct {
+	stmt *kernel.Form
+	key  string
+}
+
+// hintDB caches the resolved hint database per environment: solve visits
+// the whole database at every resolution node, and the name lookups plus
+// rule Statement construction are invariant for a given hint list. The
+// loader grows an environment's hints as the development executes, so an
+// entry is invalidated by hint-list length; declarations themselves are
+// never replaced. Entries are immutable once stored, and a racing rebuild
+// produces an identical entry, so concurrent searches may share them.
+var hintDB sync.Map // *kernel.Env -> *hintDBEntry
+
+type hintDBEntry struct {
+	n     int
+	hints []hintEntry
+}
+
+func hintsFor(env *kernel.Env) []hintEntry {
+	if v, ok := hintDB.Load(env); ok {
+		if e := v.(*hintDBEntry); e.n == len(env.HintOrder) {
+			return e.hints
+		}
+	}
+	hints := make([]hintEntry, 0, len(env.HintOrder))
+	for _, name := range env.HintOrder {
+		var stmt *kernel.Form
+		if l, ok := env.Lemmas[name]; ok {
+			stmt = l.Stmt
+		} else if _, rule := env.RuleNamed(name); rule != nil {
+			stmt = rule.Statement()
+		} else {
+			continue
+		}
+		hints = append(hints, hintEntry{stmt: stmt, key: stmtHeadKey(stmt)})
+	}
+	hintDB.Store(env, &hintDBEntry{n: len(env.HintOrder), hints: hints})
+	return hints
+}
+
+// stmtHeadKey computes the head key of a statement's fully stripped
+// conclusion without instantiating it: stripping binders and premises the
+// way instantiate does never changes the conclusion's kind or predicate
+// name, so the key of the uninstantiated statement is the key instantiate
+// would produce (`~A` strips to `A -> False`, hence "F").
+func stmtHeadKey(f *kernel.Form) string {
+	for {
+		switch f.Kind {
+		case kernel.FForall:
+			f = f.Body
+		case kernel.FImpl:
+			f = f.R
+		case kernel.FNot:
+			return "F"
+		default:
+			return headKey(f)
+		}
+	}
 }
 
 // headKey indexes a formula by its conclusion head for hint filtering.
@@ -163,38 +228,34 @@ func (r *resolver) solve(goals []rgoal, depth int, flex map[string]bool, sub ker
 		if h.Kind != kernel.FForall && h.Kind != kernel.FImpl {
 			continue
 		}
-		if r.tryLemma(h, g, rest, concl, goalKey, depth, flex, sub) {
+		if r.tryLemma(h, stmtHeadKey(h), g, rest, concl, goalKey, depth, flex, sub) {
 			return true
 		}
 	}
 
-	// The hint database.
-	for _, name := range r.env.HintOrder {
-		var stmt *kernel.Form
-		if l, ok := r.env.Lemmas[name]; ok {
-			stmt = l.Stmt
-		} else if _, rule := r.env.RuleNamed(name); rule != nil {
-			stmt = rule.Statement()
-		} else {
-			continue
-		}
-		if r.tryLemma(stmt, g, rest, concl, goalKey, depth, flex, sub) {
+	// The hint database (resolved once in tacAuto).
+	for _, hint := range r.hints {
+		if r.tryLemma(hint.stmt, hint.key, g, rest, concl, goalKey, depth, flex, sub) {
 			return true
 		}
 	}
 	return false
 }
 
-// tryLemma attempts one backward-chaining step with stmt.
-func (r *resolver) tryLemma(stmt *kernel.Form, g rgoal, rest []rgoal, concl *kernel.Form, goalKey string, depth int, flex map[string]bool, sub kernel.Subst) bool {
+// tryLemma attempts one backward-chaining step with stmt, whose
+// fully-stripped head key the caller supplies (precomputed for database
+// hints). Non-matching hints are rejected before the instantiation
+// substitution, but still consume a node so the search budget — and hence
+// timeout behavior — is unchanged.
+func (r *resolver) tryLemma(stmt *kernel.Form, key string, g rgoal, rest []rgoal, concl *kernel.Form, goalKey string, depth int, flex map[string]bool, sub kernel.Subst) bool {
 	r.nodes--
 	if r.nodes <= 0 {
 		return false
 	}
-	inst := instantiate(stmt, &r.mc)
-	if k := headKey(inst.concl); k != "?" && k != goalKey {
+	if key != "?" && key != goalKey {
 		return false
 	}
+	inst := instantiate(stmt, &r.mc)
 	for m := range inst.flex {
 		flex[m] = true
 	}

@@ -24,6 +24,12 @@ type Goal struct {
 	Vars  []kernel.TypedVar
 	Hyps  []Hyp
 	Concl *kernel.Form
+
+	// fp memoizes Fingerprint. Goals are shared between the states of one
+	// search and never mutated after a tactic returns them, so the first
+	// computed fingerprint stays valid; constructors and Clone leave it
+	// empty so in-place edits on fresh copies cannot see a stale value.
+	fp string
 }
 
 // State is a proof state: an ordered list of open goals (the first is
@@ -32,6 +38,9 @@ type Goal struct {
 type State struct {
 	Env   *kernel.Env
 	Goals []*Goal
+
+	// fp memoizes Fingerprint (states are immutable once built).
+	fp string
 }
 
 // NewState starts a proof of stmt in env: quantifiers are NOT introduced
@@ -171,6 +180,9 @@ func (g *Goal) String() string {
 // alpha-insensitive to their names, sorted, and the conclusion fingerprinted.
 // Used by the search to prune duplicate proof states.
 func (g *Goal) Fingerprint() string {
+	if g.fp != "" {
+		return g.fp
+	}
 	// Rename context variables positionally so alpha-variant goals coincide;
 	// hypothesis *names* never enter the fingerprint, and hypotheses are
 	// sorted so their order is irrelevant too.
@@ -183,7 +195,8 @@ func (g *Goal) Fingerprint() string {
 		hyps = append(hyps, h.Form.SubstTerm(ren).Fingerprint())
 	}
 	sort.Strings(hyps)
-	return strings.Join(hyps, "|") + "⊢" + g.Concl.SubstTerm(ren).Fingerprint()
+	g.fp = strings.Join(hyps, "|") + "⊢" + g.Concl.SubstTerm(ren).Fingerprint()
+	return g.fp
 }
 
 // Fingerprint of the whole state: concatenation over goals. Goal order
@@ -192,11 +205,15 @@ func (s *State) Fingerprint() string {
 	if len(s.Goals) == 0 {
 		return "<proved>"
 	}
+	if s.fp != "" {
+		return s.fp
+	}
 	parts := make([]string, len(s.Goals))
 	for i, g := range s.Goals {
 		parts[i] = g.Fingerprint()
 	}
-	return strings.Join(parts, " || ")
+	s.fp = strings.Join(parts, " || ")
+	return s.fp
 }
 
 // String renders the state: the focused goal in full, others as one-liners.

@@ -367,3 +367,35 @@ func TestStatePrinting(t *testing.T) {
 		t.Fatalf("goal rendering:\n%s", out)
 	}
 }
+
+// Fingerprints are memoized on goals and states; the memo must never leak
+// through Clone (whose result is mutated in place by tactics) and must stay
+// equal to a fresh computation after tactic application.
+func TestFingerprintMemoization(t *testing.T) {
+	env := buildEnv(t)
+	goal := stmt(t, env, "forall (n m : nat), plus n m = plus n m")
+	st := NewState(env, goal)
+	fp1 := st.Fingerprint()
+	if fp1 != st.Fingerprint() {
+		t.Fatal("memoized fingerprint differs from first computation")
+	}
+	ns, err := ApplySentence(st, "intros.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Fingerprint() == fp1 {
+		t.Fatal("distinct states share a fingerprint")
+	}
+	// A clone mutated after its parent was fingerprinted must re-derive.
+	g := st.Goals[0]
+	_ = g.Fingerprint()
+	ng := g.Clone()
+	ng.Concl = ns.Goals[0].Concl
+	if ng.Fingerprint() == g.Fingerprint() {
+		t.Fatal("clone inherited a stale memoized fingerprint")
+	}
+	// Fresh equal states agree with memoized ones.
+	if NewState(env, goal).Fingerprint() != fp1 {
+		t.Fatal("memoized fingerprint diverged from a fresh computation")
+	}
+}

@@ -51,6 +51,22 @@ func min3(a, b, c int) int {
 // NormalizeScript canonicalizes a proof script's whitespace so formatting
 // differences do not count as edits.
 func NormalizeScript(s string) string {
+	// Fast path: most callers pass strings that are already normalized
+	// (single ASCII spaces, no leading/trailing space), for which
+	// Join(Fields(s)) is the identity; skip its two allocations then.
+	// Any non-ASCII byte falls through to the general path, since Fields
+	// splits on Unicode whitespace.
+	clean := len(s) == 0 || (s[0] != ' ' && s[len(s)-1] != ' ')
+	for i := 0; clean && i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' ||
+			(c == ' ' && s[i+1] == ' ') {
+			clean = false
+		}
+	}
+	if clean {
+		return s
+	}
 	return strings.Join(strings.Fields(s), " ")
 }
 

@@ -1,6 +1,7 @@
 package textmetrics
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -60,5 +61,20 @@ func TestRelativeLength(t *testing.T) {
 	}
 	if got := RelativeLength("x", ""); got != 1 {
 		t.Fatalf("empty human proof ratio %f", got)
+	}
+}
+
+// The fast path of NormalizeScript must agree exactly with the general
+// Join(Fields(s)) form.
+func TestNormalizeScriptFastPath(t *testing.T) {
+	cases := []string{
+		"", " ", "intros.", "apply  foo.", " apply foo.", "apply foo. ",
+		"a\tb", "a\nb", "a b c", "a  b c", "répéter tactique", "x y",
+	}
+	for _, s := range cases {
+		want := strings.Join(strings.Fields(s), " ")
+		if got := NormalizeScript(s); got != want {
+			t.Errorf("NormalizeScript(%q) = %q, want %q", s, got, want)
+		}
 	}
 }

@@ -15,6 +15,13 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The golden determinism test is the load-bearing regression for the
+# performance layer (shared caches + grid scheduler); run it explicitly
+# under the race detector so a green gate always implies a racing-free,
+# schedule-independent sweep even if the package list above changes.
+echo "==> go test -race -run TestGoldenDeterminism ./internal/eval"
+go test -race -run 'TestGoldenDeterminism$' ./internal/eval
+
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
