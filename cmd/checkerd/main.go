@@ -9,12 +9,18 @@
 //	(Query Goals)
 //	(Cancel 0)
 //	(Quit)
+//
+// SIGINT/SIGTERM drain open sessions for -grace before force-closing them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/protocol"
@@ -23,6 +29,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
+	maxConns := flag.Int("max-conns", protocol.DefaultMaxConns, "maximum concurrently served sessions; further dials wait in the listen backlog")
+	grace := flag.Duration("grace", 5*time.Second, "drain window for open sessions on SIGINT/SIGTERM")
 	flag.Parse()
 
 	c, err := corpus.Default()
@@ -30,12 +38,31 @@ func main() {
 		log.Fatalf("loading corpus: %v", err)
 	}
 	srv := protocol.NewServer(c.Env)
+	srv.MaxConns = *maxConns
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("checkerd: serving %d lemmas on %s\n", len(c.Env.Lemmas), bound)
-	if err := srv.Serve(); err != nil {
-		log.Fatalf("serve: %v", err)
+	fmt.Printf("checkerd: serving %d lemmas on %s (max %d sessions)\n", len(c.Env.Lemmas), bound, *maxConns)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "checkerd: %v, draining sessions (up to %v)\n", sig, *grace)
+		if err := srv.Shutdown(*grace); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "checkerd: bye")
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
 	}
 }

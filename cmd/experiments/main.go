@@ -12,13 +12,17 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"llmfscq/internal/analysis"
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/eval"
+	"llmfscq/internal/faultpoint"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
+	"llmfscq/internal/protocol"
+	"llmfscq/internal/remote"
 )
 
 func main() {
@@ -44,6 +48,12 @@ func main() {
 		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
 		only        = flag.String("model", "", "restrict to models whose name contains this substring")
 		lint        = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
+
+		backend     = flag.String("backend", "inprocess", "tactic execution backend: inprocess, or remote (wire protocol against checkerd, mirror-checked)")
+		checkerd    = flag.String("checkerd", "", "checkerd address for -backend=remote (empty: spawn an in-process server on a loopback port)")
+		faults      = flag.String("faults", "", "fault-injection schedule for -backend=remote, e.g. \"drop-conn=0.05,stall=0.02\" (sites: "+faultSites()+")")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		wireTimeout = flag.Duration("wire-timeout", 5*time.Second, "per-request deadline for -backend=remote (the paper's per-tactic budget); injected stalls block for twice this")
 	)
 	flag.Parse()
 	if !(*fig1a || *fig1b || *table1 || *table2 || *fig2 || *probe || *whole || *ablate) {
@@ -94,6 +104,8 @@ func main() {
 	if *parallelism > 0 {
 		r.Parallelism = *parallelism
 	}
+	finishBackend := setupBackend(r, *backend, *checkerd, *faults, *faultSeed, *wireTimeout)
+	defer finishBackend()
 
 	test := r.TestSet()
 	fmt.Printf("corpus: %d theorems, %d in hint set, %d evaluated\n\n",
@@ -149,6 +161,75 @@ func main() {
 	}
 	if *all || *ablate {
 		fmt.Println(runAblations(r, c))
+	}
+}
+
+// faultSites renders the fault-site registry for the -faults usage string.
+func faultSites() string {
+	var names []string
+	for _, s := range faultpoint.Sites() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}
+
+// setupBackend wires the requested execution backend into the runner and
+// returns the end-of-run hook: it reports the wire statistics and aborts
+// the process if any semantic wire/mirror mismatch was confirmed — faults
+// may be injected, but the two checkers disagreeing about logic must never
+// pass silently.
+func setupBackend(r *eval.Runner, kind, checkerdAddr, faultSpec string, faultSeed int64, wireTimeout time.Duration) func() {
+	switch kind {
+	case "inprocess":
+		if faultSpec != "" {
+			log.Fatalf("-faults requires -backend=remote")
+		}
+		return func() {}
+	case "remote":
+	default:
+		log.Fatalf("unknown -backend %q (want inprocess or remote)", kind)
+	}
+
+	plan, err := faultpoint.ParsePlan(faultSeed, faultSpec)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	addr := checkerdAddr
+	if addr == "" {
+		srv := protocol.NewServer(r.Corpus.Env)
+		if addr, err = srv.Listen("127.0.0.1:0"); err != nil {
+			log.Fatalf("spawning checkerd: %v", err)
+		}
+		go srv.Serve() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "backend: remote via in-process checkerd on %s\n", addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "backend: remote via checkerd at %s\n", addr)
+	}
+	pol := remote.DefaultPolicy()
+	if wireTimeout > 0 {
+		pol.RequestTimeout = wireTimeout
+	}
+	be := remote.New(addr, pol)
+	be.Plan = plan
+	be.Seed = faultSeed
+	be.PoolSize = r.Parallelism
+	be.StallFor = 2 * pol.RequestTimeout
+	if plan != nil {
+		fmt.Fprintf(os.Stderr, "backend: fault schedule %s (seed %d)\n", plan, faultSeed)
+	}
+	r.Backend = be
+	return func() {
+		fmt.Fprintf(os.Stderr, "backend: %s\n", be.Stats.Snapshot())
+		if plan != nil {
+			var hits []string
+			for _, s := range faultpoint.Sites() {
+				hits = append(hits, fmt.Sprintf("%s=%d", s, plan.Hits(s)))
+			}
+			fmt.Fprintf(os.Stderr, "backend: fault hits %s\n", strings.Join(hits, " "))
+		}
+		if n := be.Stats.Mismatches.Load(); n > 0 {
+			log.Fatalf("backend: %d semantic wire/mirror mismatches — remote checker disagrees with the in-process checker", n)
+		}
 	}
 }
 

@@ -65,6 +65,7 @@ func All() []*Analyzer {
 		analyzerDeterminism,
 		analyzerMapOrder,
 		analyzerGoroutine,
+		analyzerFaultpoint,
 		analyzerDeadLemma,
 		analyzerDupStmt,
 		analyzerIntrosHyps,

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"testing"
+
+	"llmfscq/internal/faultpoint"
+)
+
+// The analyzer's literal copy of the registry must match the real one, in
+// both directions, or a new site could be added that the lint rejects (or
+// a removed site that it still accepts).
+func TestFaultSiteRegistryInSync(t *testing.T) {
+	real := faultpoint.Sites()
+	if len(real) != len(faultSiteConsts) {
+		t.Fatalf("analyzer knows %d sites, faultpoint registers %d", len(faultSiteConsts), len(real))
+	}
+	names := faultSiteNames()
+	if len(names) != len(real) {
+		t.Fatalf("faultSiteNames lists %d sites, faultpoint registers %d", len(names), len(real))
+	}
+	for i, s := range real {
+		if _, ok := faultSiteConsts[string(s)]; !ok {
+			t.Errorf("site %q registered in faultpoint but unknown to the analyzer", s)
+		}
+		if names[i] != string(s) {
+			t.Errorf("faultSiteNames[%d] = %q, want %q (registry order)", i, names[i], s)
+		}
+	}
+}
+
+func TestFaultpointLiteralConversionFires(t *testing.T) {
+	src := `package p
+
+import "llmfscq/internal/faultpoint"
+
+func bad(in *faultpoint.Injector) bool {
+	return in.Fire(faultpoint.Site("drop-conn"))
+}
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/remote", "f.go", src))
+	wantFindings(t, got,
+		`faultpoint: Site conversion spells site "drop-conn" as a string literal; use the registry constant faultpoint.DropConn`,
+	)
+}
+
+func TestFaultpointUnknownSiteFires(t *testing.T) {
+	src := `package p
+
+import "llmfscq/internal/faultpoint"
+
+func bad(in *faultpoint.Injector) bool {
+	return in.Fire("slow-dns")
+}
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/remote", "f.go", src))
+	wantFindings(t, got,
+		`faultpoint: Fire argument names "slow-dns", which is not in the fault-site registry`,
+	)
+}
+
+func TestFaultpointUntypedLiteralToFireFires(t *testing.T) {
+	// No explicit Site() conversion: the untyped constant converts
+	// implicitly, so the call compiles but panics at runtime.
+	src := `package p
+
+import "llmfscq/internal/faultpoint"
+
+func bad(p *faultpoint.Plan) int {
+	return p.Hits("stall")
+}
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/remote", "f.go", src))
+	wantFindings(t, got,
+		`faultpoint: Hits argument spells site "stall" as a string literal; use the registry constant faultpoint.Stall`,
+	)
+}
+
+func TestFaultpointConstantsClean(t *testing.T) {
+	src := `package p
+
+import "llmfscq/internal/faultpoint"
+
+func good(in *faultpoint.Injector) bool {
+	if in.Fire(faultpoint.DropConn) {
+		return true
+	}
+	return in.Fire(faultpoint.Stall) && in.Hits(faultpoint.CorruptAnswer) > 0
+}
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/remote", "f.go", src))
+	wantFindings(t, got)
+}
+
+func TestFaultpointRenamedImport(t *testing.T) {
+	src := `package p
+
+import fx "llmfscq/internal/faultpoint"
+
+func bad() fx.Site {
+	return fx.Site("partial-write")
+}
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/remote", "f.go", src))
+	wantFindings(t, got, "use the registry constant fx.PartialWrite")
+}
+
+func TestFaultpointSkipsOwnPackage(t *testing.T) {
+	src := `package faultpoint
+
+import "llmfscq/internal/faultpoint"
+
+var x = faultpoint.Site("anything-goes")
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/faultpoint", "f.go", src))
+	wantFindings(t, got)
+}
+
+func TestFaultpointSkipsNonImporters(t *testing.T) {
+	src := `package p
+
+type reloader struct{}
+
+func (reloader) Fire(s string) bool { return s == "drop-conn" }
+
+func ok(r reloader) bool { return r.Fire("drop-conn") }
+`
+	got := runOne(t, analyzerFaultpoint, mustPkg(t, "internal/other", "f.go", src))
+	wantFindings(t, got)
+}

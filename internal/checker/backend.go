@@ -1,0 +1,77 @@
+package checker
+
+import (
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/tactic"
+)
+
+// Step is the outcome of trying one tactic sentence against a backend —
+// the backend-neutral analogue of Result. Backends never surface transport
+// errors here: a remote backend retries, resurrects its session, or
+// degrades to local execution, so a Step always reflects a checker verdict.
+type Step struct {
+	Status   Status
+	NumGoals int
+	// Proved reports whether the resulting state closes the proof.
+	Proved bool
+	// State is the successor proof state when Status == Applied. It is
+	// always populated: backends that execute remotely keep a local mirror
+	// precisely so the search can keep expanding structurally.
+	State *tactic.State
+	// Err holds the checker's message for Rejected/Timeout.
+	Err error
+}
+
+// Doc is one open proof attempt against a backend. The search drives it
+// with Try: stateless with respect to the document tip, so a best-first
+// search can probe candidates from any explored node in any order.
+type Doc interface {
+	// Try applies sentence to the proof state reached by path (the tactic
+	// sentences from the root), where parent is the search's structural
+	// state at that node. Implementations may use parent directly
+	// (in-process) or replay path on a wire session (remote).
+	Try(parent *tactic.State, path []string, sentence string) Step
+	// Root returns the initial proof state of the document.
+	Root() *tactic.State
+	// Close releases any resources held by the document.
+	Close() error
+}
+
+// Backend creates proof documents. The zero value of InProcess is the
+// default backend; internal/remote provides one backed by checkerd.
+type Backend interface {
+	// NewDoc opens a proof of stmt in env. lemma is the corpus name of the
+	// statement when it has one ("" otherwise); backends that restrict the
+	// environment server-side key on it.
+	NewDoc(env *kernel.Env, stmt *kernel.Form, lemma string) (Doc, error)
+	// Close releases backend-wide resources (connection pools).
+	Close() error
+}
+
+// InProcess is the direct, in-memory backend: Try is exactly TryTactic.
+type InProcess struct{}
+
+// NewDoc opens an in-process document.
+func (InProcess) NewDoc(env *kernel.Env, stmt *kernel.Form, lemma string) (Doc, error) {
+	return &inProcessDoc{root: tactic.NewState(env, stmt)}, nil
+}
+
+// Close is a no-op for the in-process backend.
+func (InProcess) Close() error { return nil }
+
+type inProcessDoc struct {
+	root *tactic.State
+}
+
+func (d *inProcessDoc) Root() *tactic.State { return d.root }
+
+func (d *inProcessDoc) Try(parent *tactic.State, path []string, sentence string) Step {
+	res := TryTactic(parent, sentence)
+	st := Step{Status: res.Status, NumGoals: res.NumGoals, State: res.State, Err: res.Err}
+	if res.Status == Applied {
+		st.Proved = res.State.Done()
+	}
+	return st
+}
+
+func (d *inProcessDoc) Close() error { return nil }

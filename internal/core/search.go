@@ -58,6 +58,26 @@ type Config struct {
 	Width int
 	// QueryLimit caps model queries (paper: 128).
 	QueryLimit int
+	// Backend executes tactics (nil: in-process). Backends mask their own
+	// failures, so the search logic is backend-agnostic.
+	Backend checker.Backend
+	// Lemma is the corpus name of Stmt when it has one; remote backends
+	// key the server-side environment restriction on it.
+	Lemma string
+}
+
+// open creates the proof document for this search. Backend failures never
+// stop a search: the in-process document is the universal fallback.
+func (c Config) open() checker.Doc {
+	be := c.Backend
+	if be == nil {
+		be = checker.InProcess{}
+	}
+	doc, err := be.NewDoc(c.Env, c.Stmt, c.Lemma)
+	if err != nil {
+		doc, _ = checker.InProcess{}.NewDoc(c.Env, c.Stmt, c.Lemma)
+	}
+	return doc
 }
 
 // Result reports a search outcome.
@@ -141,7 +161,9 @@ func (c Config) defaults() Config {
 func BestFirst(cfg Config) Result {
 	cfg = cfg.defaults()
 	res := Result{}
-	root := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	doc := cfg.open()
+	defer doc.Close()
+	root := &node{state: doc.Root()}
 	seen := map[string]bool{root.state.Fingerprint(): true}
 	open := &nodeHeap{}
 	heap.Init(open)
@@ -156,12 +178,13 @@ func BestFirst(cfg Config) Result {
 		best := heap.Pop(open).(*node)
 		res.Queries++
 		res.Expanded++
-		cands := cfg.Propose(best.state, best.path())
+		path := best.path()
+		cands := cfg.Propose(best.state, path)
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
 		for _, cand := range cands {
-			out := checker.TryTactic(best.state, cand.Tactic)
+			out := doc.Try(best.state, path, cand.Tactic)
 			switch out.Status {
 			case checker.Rejected:
 				res.InvalidRejected++
@@ -202,12 +225,15 @@ func BestFirst(cfg Config) Result {
 func Linear(cfg Config) Result {
 	cfg = cfg.defaults()
 	res := Result{}
+	doc := cfg.open()
+	defer doc.Close()
 	type frame struct {
 		n     *node
+		path  []string
 		cands []model.Candidate
 		next  int
 	}
-	root := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	root := &node{state: doc.Root()}
 	seen := map[string]bool{root.state.Fingerprint(): true}
 	var stack []frame
 
@@ -217,11 +243,12 @@ func Linear(cfg Config) Result {
 		}
 		res.Queries++
 		res.Expanded++
-		cands := cfg.Propose(n.state, n.path())
+		path := n.path()
+		cands := cfg.Propose(n.state, path)
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
-		stack = append(stack, frame{n: n, cands: cands})
+		stack = append(stack, frame{n: n, path: path, cands: cands})
 		return true
 	}
 	if !expand(root) {
@@ -236,7 +263,7 @@ func Linear(cfg Config) Result {
 		}
 		cand := top.cands[top.next]
 		top.next++
-		out := checker.TryTactic(top.n.state, cand.Tactic)
+		out := doc.Try(top.n.state, top.path, cand.Tactic)
 		switch out.Status {
 		case checker.Rejected:
 			res.InvalidRejected++
@@ -271,7 +298,9 @@ func Linear(cfg Config) Result {
 func Greedy(cfg Config) Result {
 	cfg = cfg.defaults()
 	res := Result{}
-	cur := &node{state: tactic.NewState(cfg.Env, cfg.Stmt)}
+	doc := cfg.open()
+	defer doc.Close()
+	cur := &node{state: doc.Root()}
 	seen := map[string]bool{cur.state.Fingerprint(): true}
 	for {
 		if res.Queries >= cfg.QueryLimit {
@@ -280,13 +309,14 @@ func Greedy(cfg Config) Result {
 		}
 		res.Queries++
 		res.Expanded++
-		cands := cfg.Propose(cur.state, cur.path())
+		path := cur.path()
+		cands := cfg.Propose(cur.state, path)
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
 		var next *node
 		for _, cand := range cands {
-			out := checker.TryTactic(cur.state, cand.Tactic)
+			out := doc.Try(cur.state, path, cand.Tactic)
 			switch out.Status {
 			case checker.Rejected:
 				res.InvalidRejected++

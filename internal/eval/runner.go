@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"llmfscq/internal/checker"
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/kernel"
@@ -53,6 +54,10 @@ type Runner struct {
 	Parallelism int
 	// Search selects the algorithm (default core.BestFirst).
 	Search func(core.Config) core.Result
+	// Backend selects the tactic execution backend (nil = in-process).
+	// Backends mask their own failures, so result tables are identical
+	// across backends; see internal/remote.
+	Backend checker.Backend
 
 	// The caches below are pointers so Runner values can be copied for
 	// ablation variants (width/fuel/algorithm changes) while sharing the
@@ -301,6 +306,8 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 		},
 		Width:      r.Width,
 		QueryLimit: r.QueryLimit,
+		Backend:    r.Backend,
+		Lemma:      th.Name,
 	}
 	search := r.Search
 	if search == nil {

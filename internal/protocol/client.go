@@ -2,36 +2,75 @@ package protocol
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"llmfscq/internal/checker"
 	"llmfscq/internal/sexp"
+)
+
+// Default client deadlines: a hung or unreachable checkerd must not block a
+// client forever. DefaultTimeout generously exceeds the paper's 5 s
+// per-tactic budget (the server classifies a slow tactic as Timeout well
+// before the transport deadline fires); callers with tighter budgets set
+// Client.Timeout directly.
+const (
+	DefaultDialTimeout = 10 * time.Second
+	DefaultTimeout     = 30 * time.Second
 )
 
 // Client drives a remote proof-checker session over the wire protocol.
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
+	// Timeout bounds each round-trip (request write plus answer read) and
+	// the Quit exchange in Close. Zero disables the deadline.
+	Timeout time.Duration
 }
 
-// Dial connects to a checker daemon.
+// Dial connects to a checker daemon with the default dial timeout and
+// round-trip deadline.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DefaultDialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+	c := NewClient(conn)
+	c.Timeout = DefaultTimeout
+	return c, nil
 }
 
-// Close quits the session and closes the connection.
+// NewClient wraps an established connection. No deadline is set; the caller
+// owns the Timeout policy (the resilient backend derives it from its retry
+// policy).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Close quits the session and closes the connection. A failed Quit write is
+// reported alongside the close error, not swallowed: the caller learns the
+// session ended without the server's cooperation.
 func (c *Client) Close() error {
-	_ = WriteMsg(c.conn, sexp.L(sexp.Sym("Quit")))
-	return c.conn.Close()
+	c.deadline()
+	werr := WriteMsg(c.conn, sexp.L(sexp.Sym("Quit")))
+	if werr != nil {
+		werr = fmt.Errorf("protocol: quit: %w", werr)
+	}
+	return errors.Join(werr, c.conn.Close())
+}
+
+// deadline arms the per-round-trip deadline when configured.
+func (c *Client) deadline() {
+	if c.Timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 }
 
 // roundTrip sends a request and returns the answer payload.
 func (c *Client) roundTrip(req *sexp.Node) (*sexp.Node, error) {
+	c.deadline()
 	if err := WriteMsg(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -74,6 +113,40 @@ type ExecResult struct {
 	NumGoals int
 	Proved   bool
 	Message  string
+	// Fingerprint is the canonical state fingerprint after an Applied or
+	// Proved answer, carried inline so mirror cross-checks need no second
+	// round-trip.
+	Fingerprint string
+}
+
+// execPayload decodes an Applied/Proved/Timeout/Rejected answer payload.
+func execPayload(p *sexp.Node) (ExecResult, error) {
+	switch p.Head() {
+	case "Proved":
+		res := ExecResult{Status: checker.Applied, Proved: true}
+		res.Fingerprint = fpOf(p)
+		return res, nil
+	case "Applied":
+		n, _ := p.Nth(1).Nth(1).AsInt()
+		res := ExecResult{Status: checker.Applied, NumGoals: n}
+		res.Fingerprint = fpOf(p)
+		return res, nil
+	case "Timeout":
+		return ExecResult{Status: checker.Timeout}, nil
+	case "Rejected":
+		return ExecResult{Status: checker.Rejected, Message: p.Nth(1).Atom}, nil
+	}
+	return ExecResult{}, fmt.Errorf("protocol: unexpected payload %s", p)
+}
+
+// fpOf extracts the (Fp "...") field of an Applied/Proved payload.
+func fpOf(p *sexp.Node) string {
+	for i := 1; i < len(p.List); i++ {
+		if child := p.Nth(i); child.Head() == "Fp" {
+			return child.Nth(1).Atom
+		}
+	}
+	return ""
 }
 
 // Exec runs one tactic sentence.
@@ -82,18 +155,7 @@ func (c *Client) Exec(sentence string) (ExecResult, error) {
 	if err != nil {
 		return ExecResult{}, err
 	}
-	switch p.Head() {
-	case "Proved":
-		return ExecResult{Status: checker.Applied, Proved: true}, nil
-	case "Applied":
-		n, _ := p.Nth(1).Nth(1).AsInt()
-		return ExecResult{Status: checker.Applied, NumGoals: n}, nil
-	case "Timeout":
-		return ExecResult{Status: checker.Timeout}, nil
-	case "Rejected":
-		return ExecResult{Status: checker.Rejected, Message: p.Nth(1).Atom}, nil
-	}
-	return ExecResult{}, fmt.Errorf("protocol: unexpected payload %s", p)
+	return execPayload(p)
 }
 
 // Cancel rolls back to n executed sentences.
@@ -148,16 +210,5 @@ func (c *Client) ExecQueue() (ExecResult, error) {
 	if err != nil {
 		return ExecResult{}, err
 	}
-	switch p.Head() {
-	case "Proved":
-		return ExecResult{Status: checker.Applied, Proved: true}, nil
-	case "Applied":
-		n, _ := p.Nth(1).Nth(1).AsInt()
-		return ExecResult{Status: checker.Applied, NumGoals: n}, nil
-	case "Timeout":
-		return ExecResult{Status: checker.Timeout}, nil
-	case "Rejected":
-		return ExecResult{Status: checker.Rejected, Message: p.Nth(1).Atom}, nil
-	}
-	return ExecResult{}, fmt.Errorf("protocol: unexpected payload %s", p)
+	return execPayload(p)
 }

@@ -2,10 +2,12 @@ package protocol
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"llmfscq/internal/checker"
 	"llmfscq/internal/kernel"
@@ -13,18 +15,28 @@ import (
 	"llmfscq/internal/syntax"
 )
 
+// DefaultMaxConns bounds concurrently served connections when Server.
+// MaxConns is unset. Further dials queue in the listener backlog instead of
+// spawning unbounded handler goroutines.
+const DefaultMaxConns = 64
+
 // Server serves the proof-checker protocol over TCP. Each connection holds
 // one session (one open proof document at a time).
 type Server struct {
 	Env *kernel.Env
+	// MaxConns caps concurrently served connections (<=0: DefaultMaxConns).
+	MaxConns int
 
-	mu sync.Mutex
-	ln net.Listener
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer builds a server over an environment (typically the loaded
 // corpus environment).
-func NewServer(env *kernel.Env) *Server { return &Server{Env: env} }
+func NewServer(env *kernel.Env) *Server { return &Server{Env: env, conns: map[net.Conn]bool{}} }
 
 // Listen binds the address and returns the chosen address (useful with
 // ":0").
@@ -35,11 +47,15 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	if s.conns == nil {
+		s.conns = map[net.Conn]bool{}
+	}
 	s.mu.Unlock()
 	return ln.Addr().String(), nil
 }
 
-// Serve accepts connections until the listener closes.
+// Serve accepts connections until the listener closes, holding at most
+// MaxConns sessions open at once. Returns nil after Close or Shutdown.
 func (s *Server) Serve() error {
 	s.mu.Lock()
 	ln := s.ln
@@ -47,23 +63,109 @@ func (s *Server) Serve() error {
 	if ln == nil {
 		return fmt.Errorf("protocol: server not listening")
 	}
+	max := s.MaxConns
+	if max <= 0 {
+		max = DefaultMaxConns
+	}
+	// Acquire the slot before accepting: at capacity the server stops
+	// pulling from the backlog rather than accepting sessions it cannot
+	// serve.
+	sem := make(chan struct{}, max)
 	for {
+		sem <- struct{}{}
 		conn, err := ln.Accept()
 		if err != nil {
+			<-sem
+			if s.isClosed() {
+				return nil
+			}
 			return err
 		}
-		go s.handle(conn)
+		if !s.track(conn) { // shut down between Accept and track
+			conn.Close()
+			<-sem
+			return nil
+		}
+		s.wg.Add(1)
+		go func(c net.Conn) {
+			defer func() {
+				s.untrack(c)
+				s.wg.Done()
+				<-sem
+			}()
+			s.handle(c)
+		}(conn)
 	}
 }
 
-// Close stops the listener.
-func (s *Server) Close() error {
+func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln != nil {
-		return s.ln.Close()
+	return s.closed
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]bool{}
+	}
+	s.conns[conn] = true
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// eachConn applies f to every live connection under the lock.
+func (s *Server) eachConn(f func(net.Conn)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		f(c)
+	}
+}
+
+// Close stops the listener immediately. Open sessions keep running; use
+// Shutdown to drain them.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
 	}
 	return nil
+}
+
+// Shutdown stops accepting and drains open sessions: every session may
+// finish its in-flight request, and a read deadline at now+grace unblocks
+// handlers waiting on clients that never quit. Sessions still open when the
+// grace expires are force-closed. Returns the listener close error, if any.
+func (s *Server) Shutdown(grace time.Duration) error {
+	err := s.Close()
+	deadline := time.Now().Add(grace)
+	s.eachConn(func(c net.Conn) { _ = c.SetReadDeadline(deadline) })
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace + 250*time.Millisecond):
+		s.eachConn(func(c net.Conn) { _ = c.Close() })
+		<-done
+	}
+	return err
 }
 
 // restrictBefore returns the environment restricted to declarations before
@@ -98,130 +200,168 @@ func restrictBefore(env *kernel.Env, name string) *kernel.Env {
 	return out
 }
 
+// session is the per-connection protocol state: at most one open proof
+// document. dispatch is pure with respect to the connection, which makes
+// the request interpreter fuzzable without sockets (FuzzParseRequest).
+type session struct {
+	env *kernel.Env
+	doc *checker.Session
+}
+
+func errPayload(msg string) *sexp.Node {
+	return sexp.L(sexp.Sym("Error"), sexp.Str(msg))
+}
+
+// fpField renders the (Fp "...") field of Applied/Proved payloads.
+func fpField(doc *checker.Session) *sexp.Node {
+	return sexp.L(sexp.Sym("Fp"), sexp.Str(doc.Fingerprint()))
+}
+
+// execReply classifies a checker.Result into the wire payload.
+func (s *session) execReply(res checker.Result) *sexp.Node {
+	switch res.Status {
+	case checker.Applied:
+		if s.doc.Proved() {
+			return sexp.L(sexp.Sym("Proved"), fpField(s.doc))
+		}
+		return sexp.L(sexp.Sym("Applied"),
+			sexp.L(sexp.Sym("Goals"), sexp.Int(res.NumGoals)), fpField(s.doc))
+	case checker.Timeout:
+		return sexp.L(sexp.Sym("Timeout"))
+	default:
+		return sexp.L(sexp.Sym("Rejected"), sexp.Str(res.Err.Error()))
+	}
+}
+
+// dispatch interprets one request, returning the answer payload and whether
+// the session ends (Quit).
+func (s *session) dispatch(msg *sexp.Node) (payload *sexp.Node, quit bool) {
+	switch msg.Head() {
+	case "Quit":
+		return sexp.L(sexp.Sym("Bye")), true
+	case "NewDoc":
+		return s.newDoc(msg.Nth(1)), false
+	case "Add":
+		if s.doc == nil {
+			return errPayload("no open document"), false
+		}
+		arg := msg.Nth(1)
+		if arg == nil {
+			return errPayload("Add expects a tactic string"), false
+		}
+		if err := s.doc.Add(arg.Atom); err != nil {
+			return sexp.L(sexp.Sym("Rejected"), sexp.Str(err.Error())), false
+		}
+		return sexp.L(sexp.Sym("Added"), sexp.Int(s.doc.Queued())), false
+	case "Exec":
+		if s.doc == nil {
+			return errPayload("no open document"), false
+		}
+		arg := msg.Nth(1)
+		var res checker.Result
+		if arg == nil {
+			// Bare Exec drains the Add queue, STM style.
+			res = s.doc.ExecQueued()
+		} else {
+			res = s.doc.Exec(arg.Atom)
+		}
+		return s.execReply(res), false
+	case "Cancel":
+		if s.doc == nil {
+			return errPayload("no open document"), false
+		}
+		n, err := msg.Nth(1).AsInt()
+		if err != nil {
+			return errPayload("Cancel expects an integer"), false
+		}
+		if err := s.doc.Cancel(n); err != nil {
+			return errPayload(err.Error()), false
+		}
+		return sexp.L(sexp.Sym("Cancelled"), sexp.Int(s.doc.Len())), false
+	case "Query":
+		if s.doc == nil {
+			return errPayload("no open document"), false
+		}
+		switch {
+		case msg.Nth(1).IsSym("Goals"):
+			return sexp.L(sexp.Sym("Goals"), sexp.Str(s.doc.Goals())), false
+		case msg.Nth(1).IsSym("Fingerprint"):
+			return sexp.L(sexp.Sym("Fingerprint"), sexp.Str(s.doc.Fingerprint())), false
+		case msg.Nth(1).IsSym("Script"):
+			return sexp.L(sexp.Sym("Script"), sexp.Str(strings.Join(s.doc.Script(), " "))), false
+		default:
+			return errPayload("unknown query"), false
+		}
+	default:
+		return errPayload("unknown command " + msg.Head()), false
+	}
+}
+
+func (s *session) newDoc(spec *sexp.Node) *sexp.Node {
+	switch spec.Head() {
+	case "Lemma":
+		arg := spec.Nth(1)
+		if arg == nil {
+			return errPayload("Lemma expects a name")
+		}
+		name := arg.Atom
+		lem, ok := s.env.Lemmas[name]
+		if !ok {
+			return errPayload("unknown lemma " + name)
+		}
+		s.doc = checker.NewSession(restrictBefore(s.env, name), lem.Stmt)
+		return sexp.L(sexp.Sym("DocCreated"), sexp.Str(lem.Stmt.String()))
+	case "Stmt":
+		arg := spec.Nth(1)
+		if arg == nil {
+			return errPayload("Stmt expects a statement string")
+		}
+		p, err := syntax.NewParserString(arg.Atom)
+		if err != nil {
+			return errPayload(err.Error())
+		}
+		raw, err := p.ParseForm()
+		if err != nil {
+			return errPayload(err.Error())
+		}
+		stmt, err := syntax.ResolveForm(s.env, raw, map[string]bool{})
+		if err != nil {
+			return errPayload(err.Error())
+		}
+		s.doc = checker.NewSession(s.env, stmt)
+		return sexp.L(sexp.Sym("DocCreated"), sexp.Str(stmt.String()))
+	default:
+		return errPayload("NewDoc expects (Lemma name) or (Stmt text)")
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
-	var session *checker.Session
+	sess := &session{env: s.Env}
 	seq := 0
-	reply := func(payload *sexp.Node) {
-		_ = WriteMsg(conn, Answer(seq, payload))
-	}
 	for {
 		msg, err := ReadMsg(r)
 		if err != nil {
+			// A line that was read but does not parse gets an in-band error
+			// answer; the session survives. I/O errors (EOF, deadline,
+			// reset) end it.
+			if errors.Is(err, ErrBadMessage) || errors.Is(err, ErrLineTooLong) {
+				seq++
+				if werr := WriteMsg(conn, ErrorAnswer(seq, err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
 			return
 		}
 		seq++
-		switch msg.Head() {
-		case "Quit":
-			reply(sexp.L(sexp.Sym("Bye")))
+		payload, quit := sess.dispatch(msg)
+		if err := WriteMsg(conn, Answer(seq, payload)); err != nil {
 			return
-		case "NewDoc":
-			spec := msg.Nth(1)
-			switch spec.Head() {
-			case "Lemma":
-				name := spec.Nth(1).Atom
-				lem, ok := s.Env.Lemmas[name]
-				if !ok {
-					reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown lemma "+name)))
-					continue
-				}
-				session = checker.NewSession(restrictBefore(s.Env, name), lem.Stmt)
-				reply(sexp.L(sexp.Sym("DocCreated"), sexp.Str(lem.Stmt.String())))
-			case "Stmt":
-				src := spec.Nth(1).Atom
-				p, err := syntax.NewParserString(src)
-				if err != nil {
-					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
-					continue
-				}
-				raw, err := p.ParseForm()
-				if err != nil {
-					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
-					continue
-				}
-				stmt, err := syntax.ResolveForm(s.Env, raw, map[string]bool{})
-				if err != nil {
-					reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
-					continue
-				}
-				session = checker.NewSession(s.Env, stmt)
-				reply(sexp.L(sexp.Sym("DocCreated"), sexp.Str(stmt.String())))
-			default:
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("NewDoc expects (Lemma name) or (Stmt text)")))
-			}
-		case "Add":
-			if session == nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
-				continue
-			}
-			arg := msg.Nth(1)
-			if arg == nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("Add expects a tactic string")))
-				continue
-			}
-			if err := session.Add(arg.Atom); err != nil {
-				reply(sexp.L(sexp.Sym("Rejected"), sexp.Str(err.Error())))
-				continue
-			}
-			reply(sexp.L(sexp.Sym("Added"), sexp.Int(session.Queued())))
-		case "Exec":
-			if session == nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
-				continue
-			}
-			arg := msg.Nth(1)
-			var res checker.Result
-			if arg == nil {
-				// Bare Exec drains the Add queue, STM style.
-				res = session.ExecQueued()
-			} else {
-				res = session.Exec(arg.Atom)
-			}
-			switch res.Status {
-			case checker.Applied:
-				if session.Proved() {
-					reply(sexp.L(sexp.Sym("Proved")))
-				} else {
-					reply(sexp.L(sexp.Sym("Applied"), sexp.L(sexp.Sym("Goals"), sexp.Int(res.NumGoals))))
-				}
-			case checker.Timeout:
-				reply(sexp.L(sexp.Sym("Timeout")))
-			default:
-				reply(sexp.L(sexp.Sym("Rejected"), sexp.Str(res.Err.Error())))
-			}
-		case "Cancel":
-			if session == nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
-				continue
-			}
-			n, err := msg.Nth(1).AsInt()
-			if err != nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("Cancel expects an integer")))
-				continue
-			}
-			if err := session.Cancel(n); err != nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str(err.Error())))
-				continue
-			}
-			reply(sexp.L(sexp.Sym("Cancelled"), sexp.Int(session.Len())))
-		case "Query":
-			if session == nil {
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("no open document")))
-				continue
-			}
-			switch {
-			case msg.Nth(1).IsSym("Goals"):
-				reply(sexp.L(sexp.Sym("Goals"), sexp.Str(session.Goals())))
-			case msg.Nth(1).IsSym("Fingerprint"):
-				reply(sexp.L(sexp.Sym("Fingerprint"), sexp.Str(session.Fingerprint())))
-			case msg.Nth(1).IsSym("Script"):
-				reply(sexp.L(sexp.Sym("Script"), sexp.Str(strings.Join(session.Script(), " "))))
-			default:
-				reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown query")))
-			}
-		default:
-			reply(sexp.L(sexp.Sym("Error"), sexp.Str("unknown command "+msg.Head())))
+		}
+		if quit {
+			return
 		}
 	}
 }

@@ -1,0 +1,331 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/faultpoint"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/protocol"
+	"llmfscq/internal/tactic"
+)
+
+// Stats counts the backend's wire activity. The search result tables are
+// mirror-driven, so faults never change them; these counters are how a run
+// reports what the robustness ladder absorbed.
+type Stats struct {
+	// WireChecks counts remote executions that were cross-checked against
+	// the mirror and agreed.
+	WireChecks atomic.Int64
+	// Retries counts request-level retry attempts (after backoff).
+	Retries atomic.Int64
+	// Resurrections counts sessions rebuilt by redial + script replay.
+	Resurrections atomic.Int64
+	// Mismatches counts confirmed semantic divergences: the same
+	// disagreement reproduced on two fresh sessions. Any nonzero value
+	// means the wire checker and the mirror disagree about logic, not
+	// about the network.
+	Mismatches atomic.Int64
+	// Degraded counts documents that gave up on the wire mid-proof.
+	Degraded atomic.Int64
+	// LocalDocs counts documents opened local-only (unnamed statement,
+	// open breaker, or exhausted connection pool).
+	LocalDocs atomic.Int64
+}
+
+// Snapshot renders the counters for logging.
+func (s *Stats) Snapshot() string {
+	return fmt.Sprintf("wire-checks=%d retries=%d resurrections=%d mismatches=%d degraded=%d local-docs=%d",
+		s.WireChecks.Load(), s.Retries.Load(), s.Resurrections.Load(),
+		s.Mismatches.Load(), s.Degraded.Load(), s.LocalDocs.Load())
+}
+
+// Backend is a checker.Backend that executes proofs on a checkerd server,
+// mirror-first. Configure the exported fields before first use.
+type Backend struct {
+	// Addr is the checkerd address.
+	Addr string
+	// Policy bounds retries, timeouts, and the breaker; zero fields fall
+	// back to DefaultPolicy via New.
+	Policy Policy
+	// Plan enables deterministic fault injection on every connection; nil
+	// leaves the transport clean.
+	Plan *faultpoint.Plan
+	// StallFor is how long an injected stall blocks (must exceed
+	// Policy.RequestTimeout to be observable).
+	StallFor time.Duration
+	// Seed drives backoff jitter.
+	Seed int64
+	// PoolSize caps concurrent wire sessions; documents beyond it run
+	// local-only rather than block a search worker.
+	PoolSize int
+
+	// Stats is live while the backend runs.
+	Stats Stats
+
+	breaker  *Breaker
+	pool     chan struct{}
+	sleep    func(time.Duration)
+	initOnce sync.Once
+	connID   atomic.Int64
+	docID    atomic.Int64
+}
+
+// New builds a remote backend over checkerd at addr with the given policy.
+func New(addr string, pol Policy) *Backend {
+	if pol.Attempts < 1 {
+		pol = DefaultPolicy()
+	}
+	return &Backend{Addr: addr, Policy: pol, PoolSize: 4}
+}
+
+func (b *Backend) init() {
+	b.initOnce.Do(func() {
+		if b.PoolSize < 1 {
+			b.PoolSize = 1
+		}
+		b.pool = make(chan struct{}, b.PoolSize)
+		b.breaker = &Breaker{Threshold: b.Policy.BreakerThreshold, Cooldown: b.Policy.BreakerCooldown}
+		if b.sleep == nil {
+			b.sleep = time.Sleep
+		}
+	})
+}
+
+// Close releases backend resources. Open documents hold their own
+// connections and must be closed by their owners.
+func (b *Backend) Close() error { return nil }
+
+// Breaker exposes the circuit breaker (for tests and status reporting).
+func (b *Backend) Breaker() *Breaker { b.init(); return b.breaker }
+
+// dial opens one wire connection, wrapping it with fault injection when a
+// plan is set. The protocol client's timeout is the per-request budget.
+func (b *Backend) dial() (*protocol.Client, error) {
+	conn, err := net.DialTimeout("tcp", b.Addr, protocol.DefaultDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if b.Plan != nil {
+		conn = &FaultConn{Conn: conn, Inj: b.Plan.Injector(b.connID.Add(1)), StallFor: b.StallFor}
+	}
+	cl := protocol.NewClient(conn)
+	cl.Timeout = b.Policy.RequestTimeout
+	return cl, nil
+}
+
+// NewDoc opens a proof document. Named corpus lemmas get a wire session
+// (the server restricts the environment to declarations before the lemma,
+// matching the evaluation's restriction); unnamed statements, documents
+// beyond the pool size, and documents opened while the breaker is open run
+// local-only. The creation handshake doubles as the breaker's half-open
+// probe.
+func (b *Backend) NewDoc(env *kernel.Env, stmt *kernel.Form, lemma string) (checker.Doc, error) {
+	b.init()
+	root := tactic.NewState(env, stmt)
+	d := &wireDoc{
+		be:    b,
+		lemma: lemma,
+		root:  root,
+		rng:   rand.New(rand.NewSource(b.Seed ^ b.docID.Add(1)*0x5851f42d4c957f2d)),
+	}
+	if lemma == "" || !b.breaker.Allow() {
+		b.Stats.LocalDocs.Add(1)
+		return d, nil
+	}
+	select {
+	case b.pool <- struct{}{}:
+		d.pooled = true
+	default:
+		b.Stats.LocalDocs.Add(1)
+		return d, nil
+	}
+	if err := d.connect(); err != nil {
+		// The wire is down; the document still works, locally.
+		b.breaker.Failure()
+		d.release()
+		b.Stats.LocalDocs.Add(1)
+		return d, nil
+	}
+	b.breaker.Success()
+	return d, nil
+}
+
+// wireDoc is one proof attempt: a local mirror that is authoritative for
+// the search, plus (when connected) a wire session cross-checking every
+// execution.
+type wireDoc struct {
+	be    *Backend
+	lemma string
+	root  *tactic.State
+
+	mu       sync.Mutex
+	cl       *protocol.Client
+	wirePath []string // sentences executed on the wire session
+	rng      *rand.Rand
+	pooled   bool
+	// lastMismatch dedupes divergence confirmation: the same disagreement
+	// from two fresh sessions is semantic, not transport noise.
+	lastMismatch string
+}
+
+func (d *wireDoc) Root() *tactic.State { return d.root }
+
+func (d *wireDoc) release() {
+	if d.pooled {
+		d.pooled = false
+		<-d.be.pool
+	}
+}
+
+// Close quits the wire session and frees the pool slot.
+func (d *wireDoc) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	if d.cl != nil {
+		err = d.cl.Close()
+		d.cl = nil
+	}
+	d.release()
+	return err
+}
+
+// connect (re)dials and opens the lemma document on a fresh session.
+// Callers hold d.mu or have exclusive access.
+func (d *wireDoc) connect() error {
+	if d.cl != nil {
+		_ = d.cl.Close()
+		d.cl = nil
+	}
+	cl, err := d.be.dial()
+	if err != nil {
+		return err
+	}
+	if _, err := cl.NewDocLemma(d.lemma); err != nil {
+		_ = cl.Close()
+		return err
+	}
+	d.cl = cl
+	d.wirePath = nil
+	return nil
+}
+
+// Try applies sentence at the state reached by path. The mirror result is
+// computed first and is what the search sees; the wire execution is a
+// cross-check that can only move counters, never the answer.
+func (d *wireDoc) Try(parent *tactic.State, path []string, sentence string) checker.Step {
+	res := checker.TryTactic(parent, sentence)
+	step := checker.Step{Status: res.Status, NumGoals: res.NumGoals, State: res.State, Err: res.Err}
+	if res.Status == checker.Applied {
+		step.Proved = res.State.Done()
+	}
+	d.mu.Lock()
+	if d.cl != nil {
+		d.crossCheck(path, sentence, step)
+	}
+	d.mu.Unlock()
+	return step
+}
+
+// mismatchError marks a disagreement between wire and mirror — retried on
+// a fresh session before it counts as semantic.
+type mismatchError struct{ desc string }
+
+func (e *mismatchError) Error() string { return "remote: wire/mirror mismatch: " + e.desc }
+
+// crossCheck runs the full robustness ladder for one wire execution.
+// Called with d.mu held and d.cl non-nil.
+func (d *wireDoc) crossCheck(path []string, sentence string, local checker.Step) {
+	pol := d.be.Policy
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			d.be.Stats.Retries.Add(1)
+			d.be.sleep(pol.Backoff(attempt-1, d.rng))
+			d.be.Stats.Resurrections.Add(1)
+			if err := d.connect(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		err := d.wireStep(path, sentence, local)
+		if err == nil {
+			if lastErr != nil {
+				d.be.breaker.Success()
+			}
+			d.lastMismatch = ""
+			d.be.Stats.WireChecks.Add(1)
+			return
+		}
+		if mm, ok := err.(*mismatchError); ok {
+			if d.lastMismatch == mm.desc {
+				// Reproduced on a fresh session: the checkers disagree.
+				d.be.Stats.Mismatches.Add(1)
+				return
+			}
+			d.lastMismatch = mm.desc
+		}
+		lastErr = err
+	}
+	// Retries exhausted: degrade this document to local-only execution.
+	d.be.breaker.Failure()
+	if d.cl != nil {
+		_ = d.cl.Close()
+		d.cl = nil
+	}
+	d.release()
+	d.be.Stats.Degraded.Add(1)
+}
+
+// wireStep moves the wire session to the state at path and executes
+// sentence there, comparing the answer with the mirror's verdict.
+func (d *wireDoc) wireStep(path []string, sentence string, local checker.Step) error {
+	// Align the session tip with path: cancel to the common prefix, then
+	// replay the remainder of the known-good script.
+	p := 0
+	for p < len(d.wirePath) && p < len(path) && d.wirePath[p] == path[p] {
+		p++
+	}
+	if len(d.wirePath) > p {
+		if err := d.cl.Cancel(p); err != nil {
+			return err
+		}
+		d.wirePath = d.wirePath[:p]
+	}
+	for _, tac := range path[p:] {
+		res, err := d.cl.Exec(tac)
+		if err != nil {
+			return err
+		}
+		if res.Status != checker.Applied {
+			return &mismatchError{desc: fmt.Sprintf("replaying %q: %v (%s)", tac, res.Status, res.Message)}
+		}
+		d.wirePath = append(d.wirePath, tac)
+	}
+	res, err := d.cl.Exec(sentence)
+	if err != nil {
+		return err
+	}
+	if res.Status == checker.Applied {
+		d.wirePath = append(d.wirePath, sentence)
+	}
+	if res.Status != local.Status {
+		return &mismatchError{desc: fmt.Sprintf("%q: wire %v, mirror %v", sentence, res.Status, local.Status)}
+	}
+	if local.Status == checker.Applied {
+		if res.Proved != local.Proved || res.NumGoals != local.NumGoals {
+			return &mismatchError{desc: fmt.Sprintf("%q: wire proved=%v goals=%d, mirror proved=%v goals=%d",
+				sentence, res.Proved, res.NumGoals, local.Proved, local.NumGoals)}
+		}
+		if fp := local.State.Fingerprint(); res.Fingerprint != fp {
+			return &mismatchError{desc: fmt.Sprintf("%q: wire fp %s, mirror fp %s", sentence, res.Fingerprint, fp)}
+		}
+	}
+	return nil
+}

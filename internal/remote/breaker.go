@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states: Closed admits traffic, Open rejects it, HalfOpen admits
+// one probe after the cooldown.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. Threshold consecutive
+// Failure calls open it; after Cooldown it admits one half-open probe whose
+// outcome closes it again (Success) or re-opens it (Failure). The clock is
+// injectable so transitions are testable without sleeping.
+type Breaker struct {
+	Threshold int
+	Cooldown  time.Duration
+	// Now is the clock (nil: time.Now).
+	Now func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	state    BreakerState
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a wire request may proceed. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false // one probe in flight
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a completed wire request; it closes the breaker and
+// resets the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = Closed
+	b.probing = false
+}
+
+// Failure reports a failed wire request (after its own retries were
+// exhausted). A failed half-open probe re-opens immediately; in the closed
+// state, Threshold consecutive failures open the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == HalfOpen || (b.Threshold > 0 && b.failures >= b.Threshold) {
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// State returns the breaker's current position (resolving an elapsed
+// cooldown to HalfOpen only on the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,102 @@
+// Package remote implements the resilient wire-protocol execution backend:
+// a checker.Backend that drives proof documents on a checkerd server while
+// keeping a local mirror of every proof state. The mirror is authoritative
+// for search decisions, which makes result tables bit-identical to the
+// in-process backend by construction; the wire execution is cross-checked
+// step by step, and any divergence is counted as a semantic mismatch.
+//
+// The robustness ladder, in order: per-request deadlines, bounded retry
+// with exponential backoff and jitter, session resurrection (redial and
+// replay the executed script), and — once the circuit breaker trips —
+// graceful degradation to local-only execution.
+package remote
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy bounds the retry behaviour of one wire request.
+type Policy struct {
+	// Attempts is the maximum number of tries per request (>=1).
+	Attempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries (>=1).
+	Multiplier float64
+	// Jitter is the fraction of the delay drawn uniformly at random and
+	// added on top, in [0,1]: delay*(1+U[0,Jitter)).
+	Jitter float64
+	// RequestTimeout bounds one wire round-trip — the paper's 5 s
+	// per-tactic budget.
+	RequestTimeout time.Duration
+	// BreakerThreshold is the number of consecutive wire failures (each
+	// already retried Attempts times) that trips the circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe.
+	BreakerCooldown time.Duration
+}
+
+// DefaultPolicy returns the production retry policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		Attempts:         3,
+		BaseDelay:        20 * time.Millisecond,
+		MaxDelay:         500 * time.Millisecond,
+		Multiplier:       2,
+		Jitter:           0.5,
+		RequestTimeout:   5 * time.Second,
+		BreakerThreshold: 4,
+		BreakerCooldown:  2 * time.Second,
+	}
+}
+
+// Backoff returns the delay before retry number attempt (attempt 0 is the
+// delay after the first failure). The sequence is deterministic for a
+// seeded rng: base*mult^attempt capped at MaxDelay, plus uniform jitter.
+func (p Policy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if max := float64(p.MaxDelay); p.MaxDelay > 0 && d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + rng.Float64()*p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// MaxTotalBackoff bounds the summed backoff of a full retry cycle: every
+// retry at the capped delay with maximal jitter. Tests assert against it.
+func (p Policy) MaxTotalBackoff() time.Duration {
+	if p.Attempts <= 1 {
+		return 0
+	}
+	worst := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	var total float64
+	for i := 0; i < p.Attempts-1; i++ {
+		d := worst
+		if max := float64(p.MaxDelay); p.MaxDelay > 0 && d > max {
+			d = max
+		}
+		total += d * (1 + p.Jitter)
+		worst *= mult
+	}
+	return time.Duration(total)
+}

@@ -1,0 +1,179 @@
+package remote
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property: for any attempt, the backoff is at least the un-jittered
+// exponential delay and at most that delay times (1+Jitter), capped at
+// MaxDelay*(1+Jitter); and the full retry cycle is bounded by
+// MaxTotalBackoff.
+func TestBackoffBounds(t *testing.T) {
+	pol := Policy{
+		Attempts:   6,
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   200 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.5,
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var total time.Duration
+		for attempt := 0; attempt < pol.Attempts-1; attempt++ {
+			d := pol.Backoff(attempt, rng)
+			base := float64(pol.BaseDelay)
+			for i := 0; i < attempt; i++ {
+				base *= pol.Multiplier
+				if base >= float64(pol.MaxDelay) {
+					break
+				}
+			}
+			if base > float64(pol.MaxDelay) {
+				base = float64(pol.MaxDelay)
+			}
+			lo, hi := time.Duration(base), time.Duration(base*(1+pol.Jitter))
+			if d < lo || d > hi {
+				t.Fatalf("seed %d attempt %d: backoff %v outside [%v, %v]", seed, attempt, d, lo, hi)
+			}
+			total += d
+		}
+		if max := pol.MaxTotalBackoff(); total > max {
+			t.Fatalf("seed %d: cycle backoff %v exceeds bound %v", seed, total, max)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	pol := DefaultPolicy()
+	seq := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		for a := 0; a < 8; a++ {
+			out = append(out, pol.Backoff(a, rng))
+		}
+		return out
+	}
+	a, b := seq(11), seq(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBackoffDegenerateConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// No jitter, no multiplier: constant delay.
+	pol := Policy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: time.Second}
+	for a := 0; a < 5; a++ {
+		if d := pol.Backoff(a, rng); d != 5*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want constant 5ms", a, d)
+		}
+	}
+	// Nil rng must not panic even with jitter configured.
+	pol.Jitter = 0.5
+	_ = pol.Backoff(2, nil)
+	if got := (Policy{Attempts: 1}).MaxTotalBackoff(); got != 0 {
+		t.Fatalf("single-attempt policy has backoff bound %v", got)
+	}
+}
+
+// fakeClock drives the breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newBreaker(c *fakeClock, thr int, cd time.Duration) *Breaker {
+	return &Breaker{Threshold: thr, Cooldown: cd, Now: c.now}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(clk, 3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("threshold reached but breaker still admits traffic")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(clk, 1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown not elapsed but probe admitted")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe admitted, want half-open", b.State())
+	}
+	// Only one probe may be in flight.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never re-admitted a probe")
+	}
+	// Successful probe closes; traffic and failure counting restart.
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold-1 breaker did not re-open on next failure")
+	}
+}
+
+// Property: under any interleaving of failures, successes, and cooldown
+// advances, Allow never admits traffic while open-with-cooldown-pending,
+// and a Success always restores service.
+func TestBreakerSuccessAlwaysRestores(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(clk, 2, time.Second)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			b.Failure()
+		case 1:
+			b.Success()
+			if !b.Allow() {
+				t.Fatalf("step %d: breaker rejects traffic immediately after Success", i)
+			}
+			b.Success() // Allow above may have consumed the half-open probe slot
+		case 2:
+			clk.advance(time.Duration(rng.Intn(1500)) * time.Millisecond)
+		}
+		if b.State() == Open && clk.now().Sub(time.Unix(0, 0)) >= 0 {
+			// While open and cooled-down, the first Allow flips to half-open;
+			// before cooldown it must reject.
+			openedRecently := b.Allow()
+			if openedRecently && b.State() == Open {
+				t.Fatalf("step %d: Allow true while breaker open", i)
+			}
+			b.Success() // reset for next iteration to keep the walk moving
+		}
+	}
+}

@@ -209,6 +209,14 @@ func (p *parser) parseString() (*Node, error) {
 				b.WriteByte('\t')
 			case 'r':
 				b.WriteByte('\r')
+			case 'a':
+				b.WriteByte('\a')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'v':
+				b.WriteByte('\v')
 			case '\\':
 				b.WriteByte('\\')
 			case '"':
@@ -233,6 +241,16 @@ func (p *parser) parseString() (*Node, error) {
 				}
 				b.WriteRune(rune(v))
 				p.pos += 4
+			case 'U':
+				if p.pos+8 >= len(p.src) {
+					return nil, fmt.Errorf("sexp: bad \\U escape at offset %d", p.pos)
+				}
+				v, err := strconv.ParseUint(p.src[p.pos+1:p.pos+9], 16, 32)
+				if err != nil || v > 0x10FFFF {
+					return nil, fmt.Errorf("sexp: bad \\U escape at offset %d", p.pos)
+				}
+				b.WriteRune(rune(v))
+				p.pos += 8
 			default:
 				return nil, fmt.Errorf("sexp: unknown escape \\%c at offset %d", e, p.pos)
 			}

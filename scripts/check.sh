@@ -22,7 +22,42 @@ go test -race ./...
 echo "==> go test -race -run TestGoldenDeterminism ./internal/eval"
 go test -race -run 'TestGoldenDeterminism$' ./internal/eval
 
+# The conformance + chaos suite is the load-bearing regression for the
+# remote backend (mirror execution, retry/resurrection, breaker): run the
+# wire conformance and chaos-determinism tests explicitly under the race
+# detector, plus the grid-level backend equivalence test.
+echo "==> go test -race -run 'Conformance|Chaos|Breaker' ./internal/remote"
+go test -race -run 'Conformance|Chaos|Breaker' ./internal/remote
+
+echo "==> go test -race -run TestBackendEquivalence ./internal/eval"
+go test -race -run 'TestBackendEquivalence$' ./internal/eval
+
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
+
+# Backend equivalence at full scale: the complete experiment sweep must
+# print byte-identical tables through the in-process backend, the remote
+# wire backend on a clean network, and the remote backend under an enabled
+# fault schedule (every site firing). Stats go to stderr; stdout is the
+# comparable artifact.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+echo "==> experiments -all -backend=inprocess"
+go run ./cmd/experiments -all -seed 2025 >"$tmp/inprocess.out"
+echo "==> experiments -all -backend=remote (clean network)"
+go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms >"$tmp/remote.out"
+echo "==> experiments -all -backend=remote (chaos schedule)"
+go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
+	-faults 'drop-conn=0.0005,stall=0.00002,corrupt-answer=0.0002,partial-write=0.0002' \
+	>"$tmp/chaos.out"
+cmp "$tmp/inprocess.out" "$tmp/remote.out" || {
+	echo "check: FAIL: remote backend tables differ from in-process" >&2
+	exit 1
+}
+cmp "$tmp/inprocess.out" "$tmp/chaos.out" || {
+	echo "check: FAIL: fault-injected backend tables differ from in-process" >&2
+	exit 1
+}
+echo "check: backend equivalence holds (in-process = remote = remote+chaos)"
 
 echo "check: all gates passed"
