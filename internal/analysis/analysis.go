@@ -66,6 +66,7 @@ func All() []*Analyzer {
 		analyzerMapOrder,
 		analyzerGoroutine,
 		analyzerFaultpoint,
+		analyzerSearchMerge,
 		analyzerDeadLemma,
 		analyzerDupStmt,
 		analyzerIntrosHyps,

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"llmfscq/internal/core"
+)
+
+// The analyzer's literal copy of the counter field set must match the int
+// counters of core.Result, in both directions, or a renamed counter could
+// silently escape the merge-phase discipline.
+func TestSearchCounterFieldsInSync(t *testing.T) {
+	rt := reflect.TypeOf(core.Result{})
+	var counters []string
+	for i := 0; i < rt.NumField(); i++ {
+		if f := rt.Field(i); f.Type.Kind() == reflect.Int && f.Type.PkgPath() == "" {
+			counters = append(counters, f.Name)
+		}
+	}
+	if len(counters) != len(searchCounterFields) {
+		t.Fatalf("analyzer knows %d counters, core.Result has %d (%v)", len(searchCounterFields), len(counters), counters)
+	}
+	for _, name := range counters {
+		if !searchCounterFields[name] {
+			t.Errorf("core.Result counter %s unknown to the searchmerge analyzer", name)
+		}
+	}
+}
+
+func TestSearchMergeGoroutineMutationFires(t *testing.T) {
+	src := `package core
+
+import "sync"
+
+func bad(res *Result, work []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(work))
+	for range work {
+		go func() {
+			defer wg.Done()
+			res.InvalidTimeout++
+			res.Queries += 1
+		}()
+	}
+	wg.Wait()
+}
+`
+	got := runOne(t, analyzerSearchMerge, mustPkg(t, "internal/core", "search.go", src))
+	wantFindings(t, got,
+		"searchmerge: search counter InvalidTimeout mutated inside a goroutine",
+		"searchmerge: search counter Queries mutated inside a goroutine",
+	)
+}
+
+func TestSearchMergeNestedLiteralFires(t *testing.T) {
+	// A function literal invoked synchronously inside the goroutine still
+	// runs on the worker; the mutation must be found through it.
+	src := `package core
+
+func bad(res *Result) {
+	go func() {
+		update := func() { res.Expanded++ }
+		update()
+	}()
+}
+`
+	got := runOne(t, analyzerSearchMerge, mustPkg(t, "internal/core", "search.go", src))
+	wantFindings(t, got,
+		"searchmerge: search counter Expanded mutated inside a goroutine",
+	)
+}
+
+func TestSearchMergeAtomicImportFires(t *testing.T) {
+	src := `package core
+
+import "sync/atomic"
+
+type tally struct{ n atomic.Int64 }
+`
+	got := runOne(t, analyzerSearchMerge, mustPkg(t, "internal/core", "tally.go", src))
+	wantFindings(t, got,
+		"searchmerge: internal/core imports sync/atomic",
+	)
+}
+
+func TestSearchMergeCleanAndScoped(t *testing.T) {
+	// Merge-phase mutations (outside any goroutine) are the sanctioned
+	// pattern; workers writing their own result slots are fine too.
+	clean := `package core
+
+import "sync"
+
+func merge(res *Result, steps []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(steps))
+	for i := range steps {
+		go func(i int) {
+			defer wg.Done()
+			steps[i] = i
+		}(i)
+	}
+	wg.Wait()
+	for range steps {
+		res.Queries++
+		res.InvalidRejected++
+	}
+}
+`
+	if got := runOne(t, analyzerSearchMerge, mustPkg(t, "internal/core", "search.go", clean)); len(got) != 0 {
+		t.Fatalf("clean merge flagged: %v", got)
+	}
+	// Outside internal/core the analyzer is silent: other packages (eval's
+	// grid pool) legitimately use atomics.
+	other := `package eval
+
+import "sync/atomic"
+
+func pool(queries *atomic.Int64) { queries.Add(1) }
+`
+	if got := runOne(t, analyzerSearchMerge, mustPkg(t, "internal/eval", "grid.go", other)); len(got) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", got)
+	}
+}

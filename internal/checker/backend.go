@@ -37,6 +37,22 @@ type Doc interface {
 	Close() error
 }
 
+// BatchDoc is implemented by documents for which executing several sibling
+// sentences against one parent state in a single backend exchange is
+// cheaper than one Try per sentence (the remote backend's ExecBatch: one
+// round trip instead of n). The search engine type-asserts for it and
+// hands a whole expansion over at once when present. In-process documents
+// deliberately do not implement it — there is no per-call transport cost
+// to amortize, and advertising it would force eager execution where the
+// serial search is lazy.
+type BatchDoc interface {
+	Doc
+	// TryBatch is Try for each sentence against the same parent; the
+	// returned slice has one Step per sentence, in order. Like Try, it
+	// never surfaces transport errors.
+	TryBatch(parent *tactic.State, path []string, sentences []string) []Step
+}
+
 // Backend creates proof documents. The zero value of InProcess is the
 // default backend; internal/remote provides one backed by checkerd.
 type Backend interface {

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/kernel"
+	"llmfscq/internal/model"
+	"llmfscq/internal/tactic"
+)
+
+// expander executes the candidate tactics of one node expansion. It picks
+// one of three strategies, strictly in this order of preference:
+//
+//   - batched: the document implements checker.BatchDoc (the remote
+//     backend with ExecBatch enabled) — every unresolved candidate goes to
+//     the backend in one round trip;
+//   - parallel: Config.Parallelism > 1 — a bounded worker pool executes
+//     unresolved candidates concurrently, each worker writing only its own
+//     result slot;
+//   - serial: candidates are executed lazily, on first use, exactly like
+//     the original single-threaded loop (a Greedy search that stops at the
+//     first valid candidate never pays for the rest).
+//
+// Whatever the strategy, the search consumes outcomes through
+// expansion.step(i) in candidate order and mutates its own state (Result
+// counters, the seen set, heap or stack, the early Proved exit) only in
+// that merge phase, on the search goroutine. Execution order therefore
+// cannot influence any outcome: results are byte-identical across
+// strategies, which TestSearchModeEquivalence and the scripts/check.sh
+// full-sweep cmp gates enforce.
+type expander struct {
+	doc   checker.Doc
+	batch checker.BatchDoc
+	par   int
+	cache *TryCache
+	env   *kernel.Env
+
+	// keyBuf is the reused stateKey hashing scratch.
+	keyBuf []byte
+}
+
+// stateKey computes the strict TryCache identity of a parent state: a hash
+// over the NUL-separated concrete goal renderings (memoized on the goals —
+// see tactic.Goal.StrictString), in goal order.
+func (x *expander) stateKey(st *tactic.State) stateKey {
+	buf := x.keyBuf[:0]
+	for _, g := range st.Goals {
+		buf = append(buf, g.StrictString()...)
+		buf = append(buf, 0)
+	}
+	x.keyBuf = buf
+	return sha256.Sum256(buf)
+}
+
+func newExpander(cfg Config, doc checker.Doc) *expander {
+	x := &expander{doc: doc, par: cfg.Parallelism, cache: cfg.Cache, env: cfg.Env}
+	if bd, ok := doc.(checker.BatchDoc); ok {
+		x.batch = bd
+	}
+	return x
+}
+
+// expansion holds one node's candidates and their execution outcomes. The
+// candidate slice is an owned copy: the model's Propose reuses its output
+// scratch across queries, and a Linear search keeps expansions alive in
+// backtracking frames long past the next Propose call.
+type expansion struct {
+	x      *expander
+	parent *tactic.State
+	path   []string
+	cands  []model.Candidate
+	key    stateKey
+	steps  []checker.Step
+	done   []bool
+}
+
+func (e *expansion) len() int                   { return len(e.cands) }
+func (e *expansion) cand(i int) model.Candidate { return e.cands[i] }
+
+// step returns candidate i's outcome, executing it on demand under the
+// serial strategy.
+func (e *expansion) step(i int) checker.Step {
+	if !e.done[i] {
+		e.finish(i, e.x.doc.Try(e.parent, e.path, e.cands[i].Tactic))
+	}
+	return e.steps[i]
+}
+
+// finish records an outcome and publishes it to the shared Try cache.
+// Called only from the search goroutine (the merge side), never from a
+// worker.
+func (e *expansion) finish(i int, step checker.Step) {
+	e.steps[i] = step
+	e.done[i] = true
+	if e.x.cache != nil {
+		e.x.cache.Put(e.x.env, e.key, e.cands[i].Tactic, step)
+	}
+}
+
+// expand copies the candidates, resolves what the shared cache already
+// knows, and — under the batched or parallel strategies — executes the
+// rest eagerly. Serial consumers get a lazy expansion.
+func (x *expander) expand(parent *tactic.State, path []string, cands []model.Candidate) *expansion {
+	e := &expansion{
+		x:      x,
+		parent: parent,
+		path:   path,
+		cands:  append([]model.Candidate(nil), cands...),
+		steps:  make([]checker.Step, len(cands)),
+		done:   make([]bool, len(cands)),
+	}
+	if x.cache != nil {
+		e.key = x.stateKey(parent)
+		for i := range e.cands {
+			if step, ok := x.cache.Get(x.env, e.key, e.cands[i].Tactic); ok {
+				e.steps[i], e.done[i] = step, true
+			}
+		}
+	}
+	if x.batch == nil && x.par <= 1 {
+		return e
+	}
+	miss := make([]int, 0, len(e.cands))
+	for i := range e.cands {
+		if !e.done[i] {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return e
+	}
+	// Force the parent's lazy fingerprint memos (state and goals) before
+	// anything runs concurrently: tactics fingerprint the goals they are
+	// handed (e.g. repeat's progress check), and the memo write is not
+	// synchronized. The searches keep parents warm anyway (the seen set is
+	// fingerprint-keyed), so this is a cheap no-op in practice.
+	parent.Fingerprint()
+	if x.batch != nil {
+		sentences := make([]string, len(miss))
+		for j, i := range miss {
+			sentences[j] = e.cands[i].Tactic
+		}
+		steps := x.batch.TryBatch(parent, path, sentences)
+		for j, i := range miss {
+			e.finish(i, steps[j])
+		}
+		return e
+	}
+	par := x.par
+	if par > len(miss) {
+		par = len(miss)
+	}
+	steps := make([]checker.Step, len(miss))
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Workers are pure: they read the (immutable, pre-warmed)
+			// parent and write disjoint slots of steps. Everything
+			// order-sensitive happens in the merge below.
+			for j := w; j < len(miss); j += par {
+				steps[j] = x.doc.Try(parent, path, e.cands[miss[j]].Tactic)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for j, i := range miss {
+		e.finish(i, steps[j])
+	}
+	return e
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// Lemma is the corpus name of Stmt when it has one; remote backends
 	// key the server-side environment restriction on it.
 	Lemma string
+	// Parallelism bounds concurrent candidate executions within one
+	// expansion (<=1: serial). Outcomes are merged in candidate order, so
+	// results are identical at every setting; see expander.
+	Parallelism int
+	// Cache, when non-nil, memoizes Try outcomes across the searches that
+	// share it (keyed on env identity + concrete parent state + sentence).
+	Cache *TryCache
 }
 
 // open creates the proof document for this search. Backend failures never
@@ -99,20 +106,32 @@ type node struct {
 	parent *node
 	tac    string
 	cum    float64 // cumulative log-probability from the root
+	depth  int     // tactics from the root; len(path()) without the walk
 	index  int     // heap bookkeeping
 	seq    int     // insertion order for deterministic tie-breaking
 }
 
 func (n *node) path() []string {
-	var out []string
-	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
-		out = append(out, cur.tac)
-	}
-	// reverse
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
+	out := make([]string, n.depth)
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		out[cur.depth-1] = cur.tac
 	}
 	return out
+}
+
+// newSeen pre-sizes the duplicate-state set for a handful of full-width
+// expansions — the common case; most searches resolve in far fewer queries
+// than the limit, so sizing for the worst case (QueryLimit*Width entries)
+// wastes more allocation per search than rehashing ever costs on the rare
+// deep one.
+func newSeen(cfg Config, root *node) map[string]bool {
+	size := 8 * cfg.Width
+	if size < 16 {
+		size = 16
+	}
+	seen := make(map[string]bool, size)
+	seen[root.state.Fingerprint()] = true
+	return seen
 }
 
 // nodeHeap is a max-heap on cumulative log-probability.
@@ -163,8 +182,9 @@ func BestFirst(cfg Config) Result {
 	res := Result{}
 	doc := cfg.open()
 	defer doc.Close()
+	x := newExpander(cfg, doc)
 	root := &node{state: doc.Root()}
-	seen := map[string]bool{root.state.Fingerprint(): true}
+	seen := newSeen(cfg, root)
 	open := &nodeHeap{}
 	heap.Init(open)
 	heap.Push(open, root)
@@ -183,8 +203,13 @@ func BestFirst(cfg Config) Result {
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
-		for _, cand := range cands {
-			out := doc.Try(best.state, path, cand.Tactic)
+		// Merge phase: outcomes are consumed in candidate order, so the
+		// counters, the seen set, and the early Proved exit are identical
+		// whether the expansion ran serially, in parallel, or batched.
+		exp := x.expand(best.state, path, cands)
+		for i := 0; i < exp.len(); i++ {
+			cand := exp.cand(i)
+			out := exp.step(i)
 			switch out.Status {
 			case checker.Rejected:
 				res.InvalidRejected++
@@ -198,6 +223,7 @@ func BestFirst(cfg Config) Result {
 				parent: best,
 				tac:    cand.Tactic,
 				cum:    best.cum + cand.LogProb,
+				depth:  best.depth + 1,
 			}
 			if out.State.Done() {
 				res.Status = Proved
@@ -227,14 +253,14 @@ func Linear(cfg Config) Result {
 	res := Result{}
 	doc := cfg.open()
 	defer doc.Close()
+	x := newExpander(cfg, doc)
 	type frame struct {
-		n     *node
-		path  []string
-		cands []model.Candidate
-		next  int
+		n    *node
+		exp  *expansion
+		next int
 	}
 	root := &node{state: doc.Root()}
-	seen := map[string]bool{root.state.Fingerprint(): true}
+	seen := newSeen(cfg, root)
 	var stack []frame
 
 	expand := func(n *node) bool {
@@ -248,7 +274,9 @@ func Linear(cfg Config) Result {
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
-		stack = append(stack, frame{n: n, path: path, cands: cands})
+		// The expansion owns a copy of cands: frames outlive the model's
+		// proposal scratch, which the next Propose call overwrites.
+		stack = append(stack, frame{n: n, exp: x.expand(n.state, path, cands)})
 		return true
 	}
 	if !expand(root) {
@@ -257,13 +285,14 @@ func Linear(cfg Config) Result {
 	}
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
-		if top.next >= len(top.cands) {
+		if top.next >= top.exp.len() {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		cand := top.cands[top.next]
+		i := top.next
 		top.next++
-		out := doc.Try(top.n.state, top.path, cand.Tactic)
+		cand := top.exp.cand(i)
+		out := top.exp.step(i)
 		switch out.Status {
 		case checker.Rejected:
 			res.InvalidRejected++
@@ -272,7 +301,7 @@ func Linear(cfg Config) Result {
 			res.InvalidTimeout++
 			continue
 		}
-		child := &node{state: out.State, parent: top.n, tac: cand.Tactic}
+		child := &node{state: out.State, parent: top.n, tac: cand.Tactic, depth: top.n.depth + 1}
 		if out.State.Done() {
 			res.Status = Proved
 			res.Proof = child.path()
@@ -300,8 +329,9 @@ func Greedy(cfg Config) Result {
 	res := Result{}
 	doc := cfg.open()
 	defer doc.Close()
+	x := newExpander(cfg, doc)
 	cur := &node{state: doc.Root()}
-	seen := map[string]bool{cur.state.Fingerprint(): true}
+	seen := newSeen(cfg, cur)
 	for {
 		if res.Queries >= cfg.QueryLimit {
 			res.Status = Fuelout
@@ -314,9 +344,11 @@ func Greedy(cfg Config) Result {
 		if len(cands) > cfg.Width {
 			cands = cands[:cfg.Width]
 		}
+		exp := x.expand(cur.state, path, cands)
 		var next *node
-		for _, cand := range cands {
-			out := doc.Try(cur.state, path, cand.Tactic)
+		for i := 0; i < exp.len(); i++ {
+			cand := exp.cand(i)
+			out := exp.step(i)
 			switch out.Status {
 			case checker.Rejected:
 				res.InvalidRejected++
@@ -325,7 +357,7 @@ func Greedy(cfg Config) Result {
 				res.InvalidTimeout++
 				continue
 			}
-			child := &node{state: out.State, parent: cur, tac: cand.Tactic}
+			child := &node{state: out.State, parent: cur, tac: cand.Tactic, depth: cur.depth + 1}
 			if out.State.Done() {
 				res.Status = Proved
 				res.Proof = child.path()

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"llmfscq/internal/checker"
+	"llmfscq/internal/kernel"
+)
+
+// tryShards is the shard count of TryCache. Contention is per-candidate
+// (one Get and at most one Put per tactic execution), so a modest power of
+// two keeps grid workers off each other's locks.
+const tryShards = 64
+
+// stateKey is the strict identity of a parent proof state: a hash over the
+// concrete goal renderings. It deliberately does NOT reuse
+// tactic.State.Fingerprint, which is alpha-insensitive to hypothesis and
+// binder names — tactics observe real names ("destruct H0.", the fresh
+// names intro picks), so two fingerprint-equal states can react differently
+// to the same sentence. Keying on the exact rendering (variable names,
+// hypothesis names, order, conclusion) makes a cache hit sound: the cached
+// Step is the Step this Try would have produced.
+//
+// The hash is sha256, not maphash: maphash seeds per process, so a (never
+// observed) collision would make results vary run to run, while a fixed
+// cryptographic hash keeps the failure mode deterministic too.
+// The key is computed by expander.stateKey, which renders every goal of
+// the parent (focused goal order matters) into a NUL-separated buffer and
+// hashes it; the per-goal renderings are memoized per search, so each
+// distinct goal is rendered once, not once per expansion that can see it.
+type stateKey [sha256.Size]byte
+
+// tryKey identifies one memoized execution: environment identity, strict
+// parent-state key, tactic sentence. The environment enters by pointer —
+// restricted environments are built once per run and immutable, so pointer
+// identity is exact (two structurally equal envs at different addresses
+// cost a miss, never a wrong hit).
+type tryKey struct {
+	env      *kernel.Env
+	state    stateKey
+	sentence string
+}
+
+type tryShard struct {
+	mu           sync.Mutex
+	m            map[tryKey]checker.Step
+	hits, misses int64
+}
+
+// TryCache memoizes tactic executions across the searches that share it:
+// (env identity, parent state, sentence) → checker.Step. Vanilla and hint
+// settings, neighboring theorems, and ablation variants re-explore heavily
+// overlapping state spaces, so the grid shares one TryCache the way it
+// shares prompt.Cache.
+//
+// Soundness: TryTactic is a pure function of (parent, sentence) — the
+// timeout is fuel-based, not wall-clock — and states are immutable, so a
+// cached Step is byte-for-byte the Step a fresh execution would produce.
+// Invalidation: none needed within a run (envs and states never mutate);
+// the cache's lifetime is one grid run, so there is nothing to invalidate
+// across runs either.
+type TryCache struct {
+	shards [tryShards]tryShard
+}
+
+// NewTryCache builds an empty cache.
+func NewTryCache() *TryCache {
+	c := &TryCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[tryKey]checker.Step{}
+	}
+	return c
+}
+
+func (c *TryCache) shard(k tryKey) *tryShard {
+	return &c.shards[int(k.state[0])%tryShards]
+}
+
+// Get returns the memoized Step for (env, sk, sentence).
+func (c *TryCache) Get(env *kernel.Env, sk stateKey, sentence string) (checker.Step, bool) {
+	k := tryKey{env: env, state: sk, sentence: sentence}
+	s := c.shard(k)
+	s.mu.Lock()
+	step, ok := s.m[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return step, ok
+}
+
+// Put stores the Step. The successor state's lazy fingerprint memos (the
+// state's and each goal's) are forced first so readers in other searches
+// never race on them; the shard mutex publishes the warmed state. The
+// strict goal renderings need no warming — that memo is atomic and fills
+// lazily, only for goals of states that actually get expanded.
+func (c *TryCache) Put(env *kernel.Env, sk stateKey, sentence string, step checker.Step) {
+	if step.State != nil {
+		step.State.Fingerprint()
+	}
+	k := tryKey{env: env, state: sk, sentence: sentence}
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = step
+	s.mu.Unlock()
+}
+
+// Stats reports lookups served from the cache and total entries, for logs
+// and benchmarks.
+func (c *TryCache) Stats() (hits, misses, entries int64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		entries += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return hits, misses, entries
+}

@@ -58,6 +58,15 @@ type Runner struct {
 	// Backends mask their own failures, so result tables are identical
 	// across backends; see internal/remote.
 	Backend checker.Backend
+	// SearchParallelism bounds concurrent candidate executions inside one
+	// expansion (<=1: serial). Outcomes merge in candidate order, so every
+	// setting produces identical results; see core.Config.Parallelism.
+	SearchParallelism int
+	// TryCache shares one cross-search Try memoization cache (env identity
+	// + parent state + sentence → outcome) across the grid, the way the
+	// prompt item cache is shared. Results are identical either way; only
+	// redundant tactic executions disappear.
+	TryCache bool
 
 	// The caches below are pointers so Runner values can be copied for
 	// ablation variants (width/fuel/algorithm changes) while sharing the
@@ -73,6 +82,16 @@ type Runner struct {
 	// mined statistics depend only on which hint proofs are visible, which
 	// the whole grid shares far more often than it differs.
 	ngrams *sync.Map
+	// trymemo holds the TryCache once built, so ablation copies of the
+	// Runner (width/fuel/algorithm changes never affect a memoized Try)
+	// keep sharing one cache.
+	trymemo *tryIndex
+}
+
+// tryIndex caches the cross-search Try memo behind a once, like envIndex.
+type tryIndex struct {
+	once  sync.Once
+	cache *core.TryCache
 }
 
 // envIndex caches the restricted environments behind a once so that Runner
@@ -100,7 +119,27 @@ func NewRunner(c *corpus.Corpus, seed int64) *Runner {
 		envs:       &envIndex{},
 		prompts:    &promptIndex{},
 		ngrams:     &sync.Map{},
+		trymemo:    &tryIndex{},
 	}
+}
+
+// tryCache returns the shared Try memo when enabled (nil otherwise).
+func (r *Runner) tryCache() *core.TryCache {
+	if !r.TryCache || r.trymemo == nil {
+		return nil
+	}
+	r.trymemo.once.Do(func() { r.trymemo.cache = core.NewTryCache() })
+	return r.trymemo.cache
+}
+
+// TryCacheStats reports the shared Try memo's lookup counters and size
+// (zeros when the cache is disabled). Stats are for logging only; tables
+// never depend on them.
+func (r *Runner) TryCacheStats() (hits, misses, entries int64) {
+	if c := r.tryCache(); c != nil {
+		return c.Stats()
+	}
+	return 0, 0, 0
 }
 
 // TestSet returns the theorems not used as hints, in corpus order.
@@ -304,10 +343,12 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 		Propose: func(st *tactic.State, path []string) []model.Candidate {
 			return mdl.Propose(pr, st, path, ng, rng)
 		},
-		Width:      r.Width,
-		QueryLimit: r.QueryLimit,
-		Backend:    r.Backend,
-		Lemma:      th.Name,
+		Width:       r.Width,
+		QueryLimit:  r.QueryLimit,
+		Backend:     r.Backend,
+		Lemma:       th.Name,
+		Parallelism: r.SearchParallelism,
+		Cache:       r.tryCache(),
 	}
 	search := r.Search
 	if search == nil {

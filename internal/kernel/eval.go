@@ -72,17 +72,34 @@ func (ev *Evaluator) norm(t *Term, depth int) (*Term, error) {
 			ev.iota++
 			return ev.norm(red, depth-1)
 		}
+		if scrut == t.Match.Scrut {
+			return t, nil
+		}
 		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: t.Match.Cases}}, nil
 	default:
-		args := make([]*Term, len(t.Args))
+		// Copy-on-write: terms are immutable, so an application whose
+		// arguments are already normal is returned as-is — normalization
+		// reaches a fixpoint quickly, making this the common case.
+		args := t.Args
+		var nargs []*Term
 		for i, a := range t.Args {
 			na, err := ev.norm(a, depth-1)
 			if err != nil {
 				return nil, err
 			}
-			args[i] = na
+			if na != a && nargs == nil {
+				nargs = make([]*Term, len(t.Args))
+				copy(nargs, t.Args[:i])
+			}
+			if nargs != nil {
+				nargs[i] = na
+			}
 		}
-		head := &Term{Fun: t.Fun, Args: args}
+		head := t
+		if nargs != nil {
+			args = nargs
+			head = &Term{Fun: t.Fun, Args: nargs}
+		}
 		fd, isFun := ev.Env.Funs[t.Fun]
 		if !isFun || len(args) != len(fd.Params) {
 			return head, nil
@@ -187,21 +204,36 @@ func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
 		if err != nil {
 			return nil, err
 		}
+		if t1 == f.T1 && t2 == f.T2 {
+			return f, nil
+		}
 		return Eq(t1, t2), nil
 	case FPred:
-		args := make([]*Term, len(f.Args))
+		var nargs []*Term
 		for i, a := range f.Args {
 			na, err := ev.norm(a, depth)
 			if err != nil {
 				return nil, err
 			}
-			args[i] = na
+			if na != a && nargs == nil {
+				nargs = make([]*Term, len(f.Args))
+				copy(nargs, f.Args[:i])
+			}
+			if nargs != nil {
+				nargs[i] = na
+			}
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: args}, nil
+		if nargs == nil {
+			return f, nil
+		}
+		return &Form{Kind: FPred, Pred: f.Pred, Args: nargs}, nil
 	case FNot:
 		l, err := ev.normForm(f.L, depth)
 		if err != nil {
 			return nil, err
+		}
+		if l == f.L {
+			return f, nil
 		}
 		return Not(l), nil
 	case FAnd, FOr, FImpl, FIff:
@@ -213,11 +245,17 @@ func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
 		if err != nil {
 			return nil, err
 		}
+		if l == f.L && r == f.R {
+			return f, nil
+		}
 		return &Form{Kind: f.Kind, L: l, R: r}, nil
 	case FForall, FExists:
 		body, err := ev.normForm(f.Body, depth)
 		if err != nil {
 			return nil, err
+		}
+		if body == f.Body {
+			return f, nil
 		}
 		return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: body}, nil
 	}

@@ -119,17 +119,41 @@ func (f *Form) SubstTerm(s Subst) *Form {
 	case FTrue, FFalse:
 		return f
 	case FEq:
-		return Eq(f.T1.ApplySubst(s), f.T2.ApplySubst(s))
-	case FPred:
-		args := make([]*Term, len(f.Args))
-		for i, a := range f.Args {
-			args[i] = a.ApplySubst(s)
+		// Forms are immutable: subtrees the substitution does not touch are
+		// returned as-is rather than rebuilt (likewise in every case below).
+		t1, t2 := f.T1.ApplySubst(s), f.T2.ApplySubst(s)
+		if t1 == f.T1 && t2 == f.T2 {
+			return f
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: args}
+		return Eq(t1, t2)
+	case FPred:
+		var nargs []*Term
+		for i, a := range f.Args {
+			na := a.ApplySubst(s)
+			if na != a && nargs == nil {
+				nargs = make([]*Term, len(f.Args))
+				copy(nargs, f.Args[:i])
+			}
+			if nargs != nil {
+				nargs[i] = na
+			}
+		}
+		if nargs == nil {
+			return f
+		}
+		return &Form{Kind: FPred, Pred: f.Pred, Args: nargs}
 	case FNot:
-		return Not(f.L.SubstTerm(s))
+		l := f.L.SubstTerm(s)
+		if l == f.L {
+			return f
+		}
+		return Not(l)
 	case FAnd, FOr, FImpl, FIff:
-		return &Form{Kind: f.Kind, L: f.L.SubstTerm(s), R: f.R.SubstTerm(s)}
+		l, r := f.L.SubstTerm(s), f.R.SubstTerm(s)
+		if l == f.L && r == f.R {
+			return f
+		}
+		return &Form{Kind: f.Kind, L: l, R: r}
 	case FForall, FExists:
 		inner := s
 		binder := f.Binder
@@ -161,7 +185,11 @@ func (f *Form) SubstTerm(s Subst) *Form {
 			renamed := f.Body.SubstTerm(Subst{binder: V(fresh)})
 			return &Form{Kind: f.Kind, Binder: fresh, BType: f.BType, Body: renamed.SubstTerm(inner)}
 		}
-		return &Form{Kind: f.Kind, Binder: binder, BType: f.BType, Body: f.Body.SubstTerm(inner)}
+		body := f.Body.SubstTerm(inner)
+		if body == f.Body {
+			return f
+		}
+		return &Form{Kind: f.Kind, Binder: binder, BType: f.BType, Body: body}
 	}
 	return f
 }

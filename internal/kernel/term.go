@@ -246,6 +246,7 @@ func (t *Term) ApplySubst(s Subst) *Term {
 		return t
 	case t.Match != nil:
 		cases := make([]MatchCase, len(t.Match.Cases))
+		changed := false
 		for i, c := range t.Match.Cases {
 			// Pattern variables shadow: remove them from the substitution
 			// for the RHS. If a substituted value mentions a pattern
@@ -297,15 +298,35 @@ func (t *Term) ApplySubst(s Subst) *Term {
 				rhs = rhs.Rename(ren)
 			}
 			cases[i] = MatchCase{Pat: pat, RHS: rhs.ApplySubst(inner)}
+			if cases[i] != c {
+				changed = true
+			}
 		}
-		return &Term{Match: &MatchExpr{Scrut: t.Match.Scrut.ApplySubst(s), Cases: cases}}
+		scrut := t.Match.Scrut.ApplySubst(s)
+		// Terms are immutable, so when nothing was substituted the original
+		// is returned as-is rather than rebuilt (here and in the app case
+		// below) — most substitutions touch only a small subtree.
+		if !changed && scrut == t.Match.Scrut {
+			return t
+		}
+		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: cases}}
 	default:
 		if len(t.Args) == 0 {
 			return t
 		}
-		args := make([]*Term, len(t.Args))
+		var args []*Term
 		for i, a := range t.Args {
-			args[i] = a.ApplySubst(s)
+			na := a.ApplySubst(s)
+			if na != a && args == nil {
+				args = make([]*Term, len(t.Args))
+				copy(args, t.Args[:i])
+			}
+			if args != nil {
+				args[i] = na
+			}
+		}
+		if args == nil {
+			return t
 		}
 		return &Term{Fun: t.Fun, Args: args}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -31,6 +32,14 @@ type Model struct {
 	Env     *kernel.Env
 	retr    *retrIndex
 	norm    map[string]string // candidate text -> dedup key memo
+	// scoreParts caches the candidate-local terms of NGram.Score (the
+	// unigram and head-word components, which depend only on the candidate
+	// text); the prev-dependent bigram row is hoisted out of the candidate
+	// loop instead of being memoized, which keeps the memo's cardinality at
+	// the candidate vocabulary rather than its product with every prev.
+	// Cleared when the n-gram changes.
+	scoreNG    *NGram
+	scoreParts map[string]scorePart
 
 	// Propose scratch space, reused across the queries of a search. The
 	// sweep spends most of its time in Propose, and per-query maps and
@@ -40,10 +49,18 @@ type Model struct {
 	goalSyms, hypSyms  map[string]bool
 	utils, probs, keys []float64
 	order              []int
+	out                []Candidate
 }
 
 // New binds a profile to an environment.
 func New(p Profile, env *kernel.Env) *Model { return &Model{Profile: p, Env: env} }
+
+// scorePart holds the memoized candidate-local terms of NGram.Score,
+// pre-scaled but kept separate so the final sum adds them in the same
+// order as Score itself (floating-point addition does not reassociate).
+type scorePart struct {
+	u12, h05 float64
+}
 
 // scored is an internal candidate with its utility components.
 type scored struct {
@@ -58,6 +75,10 @@ type scored struct {
 // the n-gram component; ng may be nil (vanilla prompts have no proofs to
 // mine). rng drives the sampling noise and must be owned by the caller for
 // determinism.
+//
+// The returned slice is part of the model's reused scratch: it is valid
+// only until the next Propose call on the same Model. Callers that retain
+// candidates (the search engine's expansions do) must copy them first.
 func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *NGram, rng *rand.Rand) []Candidate {
 	if st.Done() || len(st.Goals) == 0 {
 		return nil
@@ -132,10 +153,43 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	prof := m.Profile
 	utils := resize(&m.utils, len(uniq))
 	maxU := math.Inf(-1)
+	var biRow map[string]float64
+	scoreable := ng != nil && ng.total != 0
+	if scoreable {
+		if m.scoreNG != ng {
+			m.scoreNG = ng
+			if m.scoreParts == nil {
+				m.scoreParts = map[string]scorePart{}
+			} else {
+				clear(m.scoreParts)
+			}
+		}
+		biRow = ng.bi[prev]
+	}
 	for i, c := range uniq {
+		// Open-coded ng.Score(prev, c.text): c.text is the dedup key, so
+		// it is already whitespace-normalized and Score's NormalizeScript
+		// would be the identity; the candidate-local terms come from the
+		// memo and the bigram row lookup is hoisted above the loop. The
+		// terms are summed in Score's order so the result is bit-identical.
 		g := 0.0
-		if ng != nil {
-			g = ng.Score(prev, c.text)
+		if scoreable {
+			pt, ok := m.scoreParts[c.text]
+			if !ok {
+				pt = scorePart{
+					u12: 0.12 * math.Log1p(ng.uni[c.text]),
+					h05: 0.05 * math.Log1p(ng.headUN[headOf(c.text)]),
+				}
+				m.scoreParts[c.text] = pt
+			}
+			if biRow != nil {
+				g = 0.6 * math.Log1p(biRow[c.text])
+			}
+			g += pt.u12
+			g += pt.h05
+			if g > 2.0 {
+				g = 2.0
+			}
 		}
 		u := 2.2*c.h*prof.HeuristicSkill + c.r + g*prof.HintBoost + c.j
 		utils[i] = u
@@ -168,7 +222,15 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+	slices.SortStableFunc(order, func(a, b int) int {
+		if keys[a] > keys[b] {
+			return -1
+		}
+		if keys[a] < keys[b] {
+			return 1
+		}
+		return 0
+	})
 	k := prof.MaxOutputs
 	if k > len(order) {
 		k = len(order)
@@ -185,7 +247,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// never return fewer than a few distinct completions.
 	const confidencePrune = 0.12
 	const minSlate = 3
-	out := make([]Candidate, 0, k)
+	out := m.out[:0]
 	for rank, idx := range order {
 		if rank >= minSlate && probs[idx] < confidencePrune*pMax {
 			continue
@@ -193,6 +255,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 		out = append(out, Candidate{Tactic: uniq[idx].text, LogProb: math.Log(probs[idx])})
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].LogProb > out[b].LogProb })
+	m.out = out
 	return out
 }
 

@@ -32,7 +32,9 @@ func setup(t testing.TB, setting prompt.Setting, thName string) (*Model, *prompt
 
 func TestProposeDeterministic(t *testing.T) {
 	mdl, pr, ng, st := setup(t, prompt.Hint, "app_assoc")
-	a := mdl.Propose(pr, st, nil, ng, rand.New(rand.NewSource(5)))
+	// Propose returns its reused scratch slice; copy the first slate before
+	// the second call overwrites it.
+	a := append([]Candidate(nil), mdl.Propose(pr, st, nil, ng, rand.New(rand.NewSource(5)))...)
 	b := mdl.Propose(pr, st, nil, ng, rand.New(rand.NewSource(5)))
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic slate size")

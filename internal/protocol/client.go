@@ -158,6 +158,34 @@ func (c *Client) Exec(sentence string) (ExecResult, error) {
 	return execPayload(p)
 }
 
+// ExecBatch runs several sibling sentences in one round trip: the server
+// executes each against the current tip, cancelling back after an Applied
+// sentence, so the answers are independent probes from the same parent and
+// the tip is unchanged afterwards. One ExecResult per sentence, in order.
+func (c *Client) ExecBatch(sentences []string) ([]ExecResult, error) {
+	req := make([]*sexp.Node, 0, len(sentences)+1)
+	req = append(req, sexp.Sym("ExecBatch"))
+	for _, s := range sentences {
+		req = append(req, sexp.Str(s))
+	}
+	p, err := c.roundTrip(sexp.L(req...))
+	if err != nil {
+		return nil, err
+	}
+	if p.Head() != "Batch" || len(p.List) != len(sentences)+1 {
+		return nil, fmt.Errorf("protocol: malformed batch answer %s", p)
+	}
+	out := make([]ExecResult, len(sentences))
+	for i := range sentences {
+		res, err := execPayload(p.Nth(i + 1))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // Cancel rolls back to n executed sentences.
 func (c *Client) Cancel(n int) error {
 	_, err := c.roundTrip(sexp.L(sexp.Sym("Cancel"), sexp.Int(n)))

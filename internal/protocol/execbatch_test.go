@@ -1,0 +1,125 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"llmfscq/internal/checker"
+)
+
+// TestExecBatchMatchesSerialExec is the batched-execution conformance case:
+// an ExecBatch answer must carry, per sentence, exactly the ExecResult a
+// serial Exec+Cancel probe of the same sentence reports, and the document
+// tip must be unchanged after the batch.
+func TestExecBatchMatchesSerialExec(t *testing.T) {
+	_, addr := startServer(t)
+	batch := []string{
+		"induction l.",    // Applied
+		"reflexivity.",    // Rejected at the root of app_nil_r
+		"rewrite nope.",   // Rejected
+		"intros.",         // Applied
+		"not a tactic at", // Rejected (parse)
+	}
+
+	// Serial reference: each sentence probed from the same parent state.
+	serial, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	if _, err := serial.NewDocLemma("app_nil_r"); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]ExecResult, len(batch))
+	for i, s := range batch {
+		res, err := serial.Exec(s)
+		if err != nil {
+			t.Fatalf("serial exec %q: %v", s, err)
+		}
+		want[i] = res
+		if res.Status == checker.Applied {
+			if err := serial.Cancel(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.NewDocLemma("app_nil_r"); err != nil {
+		t.Fatal(err)
+	}
+	fpBefore, err := cl.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ExecBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if got[i] != want[i] {
+			t.Errorf("sentence %q: batch %+v, serial %+v", batch[i], got[i], want[i])
+		}
+	}
+	// The tip is unchanged: the server cancelled back after every Applied.
+	fpAfter, err := cl.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpBefore != fpAfter {
+		t.Fatalf("batch moved the tip: %s -> %s", fpBefore, fpAfter)
+	}
+	// And the document still executes normally.
+	res, err := cl.Exec("induction l.")
+	if err != nil || res.Status != checker.Applied {
+		t.Fatalf("session broken after batch: %+v %v", res, err)
+	}
+}
+
+// TestExecBatchMalformedAnsweredInBand: malformed batches are whole-batch
+// atomic — one in-band (Error ...) answer, no partial execution, session
+// alive afterwards.
+func TestExecBatchMalformedAnsweredInBand(t *testing.T) {
+	_, addr := startServer(t)
+	s := rawDial(t, addr)
+
+	// Before any document is open, even a well-formed batch is an error.
+	s.send("(ExecBatch \"intros.\")\n")
+	if p := s.answer().Nth(2); p.Head() != "Error" {
+		t.Fatalf("no-document batch: %s, want (Error ...)", p)
+	}
+
+	s.send("(NewDoc (Lemma app_nil_r))\n")
+	if ans := s.answer(); ans.Nth(2).Head() != "DocCreated" {
+		t.Fatalf("NewDoc answer %s", ans)
+	}
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"empty batch", "(ExecBatch)\n"},
+		{"list argument", "(ExecBatch (Foo))\n"},
+		{"list among strings", "(ExecBatch \"induction l.\" (Nested))\n"},
+		{"oversized batch", "(ExecBatch " + strings.Repeat("\"simpl.\" ", MaxBatch+1) + ")\n"},
+	}
+	for _, tc := range cases {
+		s.send(tc.line)
+		if p := s.answer().Nth(2); p.Head() != "Error" {
+			t.Errorf("%s: payload %s, want (Error ...)", tc.name, p)
+		}
+		// Atomicity: no sentence ran, so the script is still empty.
+		s.send("(Query Script)\n")
+		if p := s.answer().Nth(2); p.Head() != "Script" || p.Nth(1).Atom != "" {
+			t.Errorf("%s: script after malformed batch: %s", tc.name, p)
+		}
+	}
+	// The session survives and still executes.
+	s.send("(Exec \"induction l.\")\n")
+	if p := s.answer().Nth(2); p.Head() != "Applied" {
+		t.Fatalf("session broken after malformed batches: %s", p)
+	}
+}

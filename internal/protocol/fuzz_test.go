@@ -82,6 +82,11 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add("(Add \"reflexivity.\")")
 	f.Add("(Cancel 0)")
 	f.Add("(Cancel -3)")
+	f.Add("(ExecBatch \"intros.\" \"reflexivity.\")")
+	f.Add("(ExecBatch)")
+	f.Add("(ExecBatch (Foo))")
+	f.Add("(ExecBatch \"intros.\" (Nested (List)))")
+	f.Add("(ExecBatch " + strings.Repeat("\"simpl.\" ", MaxBatch+1) + ")")
 	f.Add("(Query Goals)")
 	f.Add("(Query Fingerprint)")
 	f.Add("(Query Script)")

@@ -9,6 +9,10 @@
 //	                               before it (no self-application)
 //	(NewDoc (Stmt "forall ..."))   open a proof of a parsed statement
 //	(Exec "tactic.")               execute one tactic sentence at the tip
+//	(ExecBatch "t1." "t2." ...)    execute up to MaxBatch sibling sentences,
+//	                               each against the current tip (the server
+//	                               cancels back between sentences, so the
+//	                               tip is unchanged afterwards)
 //	(Cancel n)                     roll back to n executed sentences
 //	(Query Goals)                  pretty-printed goals
 //	(Query Fingerprint)            canonical state fingerprint
@@ -21,6 +25,8 @@
 //	(Answer k (Proved (Fp "fp")))
 //	(Answer k (Rejected "message"))
 //	(Answer k (Timeout))
+//	(Answer k (Batch p1 p2 ...))   one Applied/Proved/Rejected/Timeout
+//	                               payload per ExecBatch sentence, in order
 //	(Answer k (Goals "text")) / (Answer k (Fingerprint "fp")) / ...
 //	(Answer k (Error "message"))
 //
@@ -41,6 +47,11 @@ import (
 // MaxLineBytes bounds one wire message. Longer lines are consumed and
 // answered with an error instead of growing the read buffer without bound.
 const MaxLineBytes = 1 << 20
+
+// MaxBatch bounds the sentences of one ExecBatch request. The search sends
+// at most its expansion width (paper: 8); the cap only has to keep a
+// malicious batch from holding the session for an unbounded stretch.
+const MaxBatch = 64
 
 // ErrBadMessage marks a line that was read but does not parse as an
 // S-expression. The server answers (Error ...) and keeps the session; the

@@ -266,6 +266,8 @@ func (s *session) dispatch(msg *sexp.Node) (payload *sexp.Node, quit bool) {
 			res = s.doc.Exec(arg.Atom)
 		}
 		return s.execReply(res), false
+	case "ExecBatch":
+		return s.execBatch(msg), false
 	case "Cancel":
 		if s.doc == nil {
 			return errPayload("no open document"), false
@@ -295,6 +297,45 @@ func (s *session) dispatch(msg *sexp.Node) (payload *sexp.Node, quit bool) {
 	default:
 		return errPayload("unknown command " + msg.Head()), false
 	}
+}
+
+// execBatch executes every sentence of an (ExecBatch "t1." "t2." ...)
+// request against the current tip: after an Applied sentence the document
+// is cancelled back, so each sentence sees the same parent state and the
+// tip is unchanged when the batch answer goes out. A malformed batch (no
+// sentences, a non-string argument, more than MaxBatch sentences) gets one
+// in-band Error answer for the whole batch and leaves the tip untouched.
+func (s *session) execBatch(msg *sexp.Node) *sexp.Node {
+	if s.doc == nil {
+		return errPayload("no open document")
+	}
+	n := len(msg.List) - 1
+	if n < 1 {
+		return errPayload("ExecBatch expects at least one tactic string")
+	}
+	if n > MaxBatch {
+		return errPayload(fmt.Sprintf("ExecBatch of %d sentences exceeds the limit of %d", n, MaxBatch))
+	}
+	for i := 1; i <= n; i++ {
+		if arg := msg.Nth(i); arg == nil || arg.IsList {
+			return errPayload("ExecBatch expects tactic strings")
+		}
+	}
+	base := s.doc.Len()
+	out := make([]*sexp.Node, 0, n+1)
+	out = append(out, sexp.Sym("Batch"))
+	for i := 1; i <= n; i++ {
+		res := s.doc.Exec(msg.Nth(i).Atom)
+		// execReply reads the post-execution tip (Proved, Fingerprint), so
+		// the rollback happens after the payload is rendered.
+		out = append(out, s.execReply(res))
+		if res.Status == checker.Applied {
+			if err := s.doc.Cancel(base); err != nil {
+				return errPayload(err.Error())
+			}
+		}
+	}
+	return sexp.L(out...)
 }
 
 func (s *session) newDoc(spec *sexp.Node) *sexp.Node {

@@ -64,6 +64,10 @@ type Backend struct {
 	// PoolSize caps concurrent wire sessions; documents beyond it run
 	// local-only rather than block a search worker.
 	PoolSize int
+	// Batch advertises ExecBatch execution to the search engine: a whole
+	// expansion's sibling sentences cross-check in one round trip instead
+	// of one per sentence. Off, documents expose only lockstep Try.
+	Batch bool
 
 	// Stats is live while the backend runs.
 	Stats Stats
@@ -134,27 +138,45 @@ func (b *Backend) NewDoc(env *kernel.Env, stmt *kernel.Form, lemma string) (chec
 		root:  root,
 		rng:   rand.New(rand.NewSource(b.Seed ^ b.docID.Add(1)*0x5851f42d4c957f2d)),
 	}
+	// The checker.BatchDoc assertion is how the search engine discovers
+	// batching, so a lockstep backend must hand out a doc type that does
+	// not implement it.
+	var doc checker.Doc = d
+	if !b.Batch {
+		doc = lockstepDoc{d}
+	}
 	if lemma == "" || !b.breaker.Allow() {
 		b.Stats.LocalDocs.Add(1)
-		return d, nil
+		return doc, nil
 	}
 	select {
 	case b.pool <- struct{}{}:
 		d.pooled = true
 	default:
 		b.Stats.LocalDocs.Add(1)
-		return d, nil
+		return doc, nil
 	}
 	if err := d.connect(); err != nil {
 		// The wire is down; the document still works, locally.
 		b.breaker.Failure()
 		d.release()
 		b.Stats.LocalDocs.Add(1)
-		return d, nil
+		return doc, nil
 	}
 	b.breaker.Success()
-	return d, nil
+	return doc, nil
 }
+
+// lockstepDoc hides wireDoc's TryBatch so the search engine falls back to
+// one round trip per sentence (the pre-ExecBatch behavior, kept for
+// comparison runs and benchmarks).
+type lockstepDoc struct{ d *wireDoc }
+
+func (l lockstepDoc) Try(parent *tactic.State, path []string, sentence string) checker.Step {
+	return l.d.Try(parent, path, sentence)
+}
+func (l lockstepDoc) Root() *tactic.State { return l.d.Root() }
+func (l lockstepDoc) Close() error        { return l.d.Close() }
 
 // wireDoc is one proof attempt: a local mirror that is authoritative for
 // the search, plus (when connected) a wire session cross-checking every
@@ -233,6 +255,27 @@ func (d *wireDoc) Try(parent *tactic.State, path []string, sentence string) chec
 	return step
 }
 
+// TryBatch is Try for a whole expansion: every sentence is mirrored
+// locally (authoritative, exactly as Try), then the connected wire session
+// cross-checks all of them in one ExecBatch round trip through the same
+// retry/resurrect/degrade ladder as lockstep execution.
+func (d *wireDoc) TryBatch(parent *tactic.State, path []string, sentences []string) []checker.Step {
+	steps := make([]checker.Step, len(sentences))
+	for i, sentence := range sentences {
+		res := checker.TryTactic(parent, sentence)
+		steps[i] = checker.Step{Status: res.Status, NumGoals: res.NumGoals, State: res.State, Err: res.Err}
+		if res.Status == checker.Applied {
+			steps[i].Proved = res.State.Done()
+		}
+	}
+	d.mu.Lock()
+	if d.cl != nil {
+		d.ladder(int64(len(sentences)), func() error { return d.wireBatch(path, sentences, steps) })
+	}
+	d.mu.Unlock()
+	return steps
+}
+
 // mismatchError marks a disagreement between wire and mirror — retried on
 // a fresh session before it counts as semantic.
 type mismatchError struct{ desc string }
@@ -242,6 +285,17 @@ func (e *mismatchError) Error() string { return "remote: wire/mirror mismatch: "
 // crossCheck runs the full robustness ladder for one wire execution.
 // Called with d.mu held and d.cl non-nil.
 func (d *wireDoc) crossCheck(path []string, sentence string, local checker.Step) {
+	d.ladder(1, func() error { return d.wireStep(path, sentence, local) })
+}
+
+// ladder drives one wire exchange (lockstep or batched) through the
+// robustness ladder: per-request deadlines are the client's, transport
+// failures retry with backoff after resurrecting the session, a mismatch
+// reproduced on a fresh session counts as semantic, and exhausted retries
+// degrade the document to local-only. checks is the number of executions
+// the exchange verifies, credited to WireChecks on success. Called with
+// d.mu held and d.cl non-nil.
+func (d *wireDoc) ladder(checks int64, step func() error) {
 	pol := d.be.Policy
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
@@ -254,13 +308,13 @@ func (d *wireDoc) crossCheck(path []string, sentence string, local checker.Step)
 				continue
 			}
 		}
-		err := d.wireStep(path, sentence, local)
+		err := step()
 		if err == nil {
 			if lastErr != nil {
 				d.be.breaker.Success()
 			}
 			d.lastMismatch = ""
-			d.be.Stats.WireChecks.Add(1)
+			d.be.Stats.WireChecks.Add(checks)
 			return
 		}
 		if mm, ok := err.(*mismatchError); ok {
@@ -283,11 +337,9 @@ func (d *wireDoc) crossCheck(path []string, sentence string, local checker.Step)
 	d.be.Stats.Degraded.Add(1)
 }
 
-// wireStep moves the wire session to the state at path and executes
-// sentence there, comparing the answer with the mirror's verdict.
-func (d *wireDoc) wireStep(path []string, sentence string, local checker.Step) error {
-	// Align the session tip with path: cancel to the common prefix, then
-	// replay the remainder of the known-good script.
+// align moves the wire session tip to the state at path: cancel to the
+// common prefix, then replay the remainder of the known-good script.
+func (d *wireDoc) align(path []string) error {
 	p := 0
 	for p < len(d.wirePath) && p < len(path) && d.wirePath[p] == path[p] {
 		p++
@@ -308,13 +360,11 @@ func (d *wireDoc) wireStep(path []string, sentence string, local checker.Step) e
 		}
 		d.wirePath = append(d.wirePath, tac)
 	}
-	res, err := d.cl.Exec(sentence)
-	if err != nil {
-		return err
-	}
-	if res.Status == checker.Applied {
-		d.wirePath = append(d.wirePath, sentence)
-	}
+	return nil
+}
+
+// compare checks one wire answer against the mirror's verdict.
+func compare(sentence string, res protocol.ExecResult, local checker.Step) error {
 	if res.Status != local.Status {
 		return &mismatchError{desc: fmt.Sprintf("%q: wire %v, mirror %v", sentence, res.Status, local.Status)}
 	}
@@ -325,6 +375,43 @@ func (d *wireDoc) wireStep(path []string, sentence string, local checker.Step) e
 		}
 		if fp := local.State.Fingerprint(); res.Fingerprint != fp {
 			return &mismatchError{desc: fmt.Sprintf("%q: wire fp %s, mirror fp %s", sentence, res.Fingerprint, fp)}
+		}
+	}
+	return nil
+}
+
+// wireStep moves the wire session to the state at path and executes
+// sentence there, comparing the answer with the mirror's verdict.
+func (d *wireDoc) wireStep(path []string, sentence string, local checker.Step) error {
+	if err := d.align(path); err != nil {
+		return err
+	}
+	res, err := d.cl.Exec(sentence)
+	if err != nil {
+		return err
+	}
+	if res.Status == checker.Applied {
+		d.wirePath = append(d.wirePath, sentence)
+	}
+	return compare(sentence, res, local)
+}
+
+// wireBatch aligns the session with path and cross-checks a whole
+// expansion in one ExecBatch round trip. The server cancels back to the
+// parent between sentences, so the tip — and d.wirePath — are unchanged
+// afterwards, and a retry after a transport failure can simply rerun the
+// batch.
+func (d *wireDoc) wireBatch(path []string, sentences []string, locals []checker.Step) error {
+	if err := d.align(path); err != nil {
+		return err
+	}
+	results, err := d.cl.ExecBatch(sentences)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		if err := compare(sentences[i], res, locals[i]); err != nil {
+			return err
 		}
 	}
 	return nil

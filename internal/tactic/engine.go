@@ -3,6 +3,7 @@ package tactic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"llmfscq/internal/kernel"
 	"llmfscq/internal/syntax"
@@ -33,13 +34,35 @@ func Apply(s *State, e Expr) (*State, error) {
 	return s.withGoals(subgoals), nil
 }
 
-// ApplySentence parses one tactic sentence and applies it.
+// parsed is one memoized ParseOne outcome (failures are memoized too: junk
+// candidates repeat across searches just like real ones).
+type parsed struct {
+	e   Expr
+	err error
+}
+
+// parseMemo caches ParseOne by sentence text, like the hint database in
+// auto.go. Sound because parsing is a pure function of the sentence and
+// Expr trees are read-only after parsing: the interpreter receives Call
+// nodes by value and never writes through a shared node. The candidate
+// vocabulary is bounded by the corpus (retrieval pool, n-gram idioms, junk
+// over corpus names), so the memo's size is bounded too.
+var parseMemo sync.Map // string -> parsed
+
+// ApplySentence parses one tactic sentence (memoized — the search executes
+// the same few sentences against many states) and applies it.
 func ApplySentence(s *State, sentence string) (*State, error) {
-	e, err := ParseOne(sentence)
-	if err != nil {
-		return nil, err
+	var p parsed
+	if v, ok := parseMemo.Load(sentence); ok {
+		p = v.(parsed)
+	} else {
+		p.e, p.err = ParseOne(sentence)
+		parseMemo.Store(sentence, p)
 	}
-	return Apply(s, e)
+	if p.err != nil {
+		return nil, p.err
+	}
+	return Apply(s, p.e)
 }
 
 // RunScript checks a whole proof script against stmt, sentence by sentence.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"llmfscq/internal/kernel"
 )
@@ -30,6 +31,12 @@ type Goal struct {
 	// computed fingerprint stays valid; constructors and Clone leave it
 	// empty so in-place edits on fresh copies cannot see a stale value.
 	fp string
+	// strict memoizes StrictString. Unlike fp — which every sharer warms
+	// before publication — this memo fills lazily from whichever search
+	// renders the goal first, and Try-cached states are shared across
+	// concurrent searches, so it must be atomic. A racing duplicate
+	// computation is benign: both goroutines store the same rendering.
+	strict atomic.Pointer[string]
 }
 
 // State is a proof state: an ordered list of open goals (the first is
@@ -174,6 +181,22 @@ func (g *Goal) String() string {
 	b.WriteString("============================\n")
 	b.WriteString(g.Concl.String())
 	return b.String()
+}
+
+// StrictString returns the goal's concrete rendering — the same text as
+// String — memoized on the goal. Where Fingerprint deliberately forgets
+// variable and hypothesis names (for duplicate-state pruning), StrictString
+// keeps them: tactics observe concrete names, so caches keyed on proof
+// states must use this identity. Goals are shared unchanged between a
+// state and its successors — and, through the cross-search Try cache,
+// between searches — so each distinct goal renders once per run.
+func (g *Goal) StrictString() string {
+	if p := g.strict.Load(); p != nil {
+		return *p
+	}
+	s := g.String()
+	g.strict.Store(&s)
+	return s
 }
 
 // Fingerprint returns a canonical identifier for the goal: hypotheses are

@@ -22,6 +22,13 @@ go test -race ./...
 echo "==> go test -race -run TestGoldenDeterminism ./internal/eval"
 go test -race -run 'TestGoldenDeterminism$' ./internal/eval
 
+# The search-mode equivalence test is the load-bearing regression for the
+# intra-search parallelism layer (worker-pool expansion, cross-search Try
+# memoization, batched wire execution): every mode must produce the exact
+# Result the serial search produces, under the race detector.
+echo "==> go test -race -run TestSearchModeEquivalence ./internal/core"
+go test -race -run 'TestSearchModeEquivalence$' ./internal/core
+
 # The conformance + chaos suite is the load-bearing regression for the
 # remote backend (mirror execution, retry/resurrection, breaker): run the
 # wire conformance and chaos-determinism tests explicitly under the race
@@ -44,12 +51,20 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 echo "==> experiments -all -backend=inprocess"
 go run ./cmd/experiments -all -seed 2025 >"$tmp/inprocess.out"
-echo "==> experiments -all -backend=remote (clean network)"
-go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms >"$tmp/remote.out"
-echo "==> experiments -all -backend=remote (chaos schedule)"
+echo "==> experiments -all -backend=inprocess (parallel expansion + Try cache)"
+go run ./cmd/experiments -all -seed 2025 -search-parallelism=8 -try-cache \
+	>"$tmp/parallel.out"
+echo "==> experiments -all -backend=remote (clean network, lockstep wire)"
+go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
+	-wire-batch=false >"$tmp/remote.out"
+echo "==> experiments -all -backend=remote (chaos schedule, batched wire)"
 go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-faults 'drop-conn=0.0005,stall=0.00002,corrupt-answer=0.0002,partial-write=0.0002' \
 	>"$tmp/chaos.out"
+cmp "$tmp/inprocess.out" "$tmp/parallel.out" || {
+	echo "check: FAIL: parallel/cached search tables differ from serial" >&2
+	exit 1
+}
 cmp "$tmp/inprocess.out" "$tmp/remote.out" || {
 	echo "check: FAIL: remote backend tables differ from in-process" >&2
 	exit 1
@@ -58,6 +73,6 @@ cmp "$tmp/inprocess.out" "$tmp/chaos.out" || {
 	echo "check: FAIL: fault-injected backend tables differ from in-process" >&2
 	exit 1
 }
-echo "check: backend equivalence holds (in-process = remote = remote+chaos)"
+echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos)"
 
 echo "check: all gates passed"
