@@ -13,6 +13,7 @@ import (
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/eval"
+	"llmfscq/internal/kernel"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
 	"llmfscq/internal/protocol"
@@ -257,7 +258,7 @@ func BenchmarkTryCache(b *testing.B) {
 				b.ReportMetric(coveragePct(outs), "cov-%")
 			}
 			if bc.cache {
-				hits, misses, _ := r.TryCacheStats()
+				hits, misses, _, _ := r.TryCacheStats()
 				if hits+misses > 0 {
 					b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit-%")
 				}
@@ -423,6 +424,90 @@ func BenchmarkRestrictEnv(b *testing.B) {
 				b.Fatal("nil env")
 			}
 		}
+	}
+}
+
+// BenchmarkInternTerm measures node construction through the hash-consing
+// arena against plain allocation, on a term mix shaped like search traffic
+// (shallow applications over a small name pool, so the arena hit rate is
+// high — the interned leg reports it via kernel.InternStats).
+func BenchmarkInternTerm(b *testing.B) {
+	build := func() {
+		for i := 0; i < 64; i++ {
+			n := kernel.V("n")
+			t := kernel.A("plus", n, kernel.A("S", kernel.A("O")))
+			_ = kernel.A("mult", t, kernel.A("S", n))
+			_ = kernel.Eq(t, kernel.A("plus", kernel.A("S", kernel.A("O")), n))
+		}
+	}
+	for _, bc := range []struct {
+		name string
+		on   bool
+	}{{"plain", false}, {"interned", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			kernel.SetInterning(bc.on)
+			defer kernel.SetInterning(true)
+			h0, m0 := kernel.InternStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				build()
+			}
+			b.StopTimer()
+			if h1, m1 := kernel.InternStats(); bc.on && h1-h0+m1-m0 > 0 {
+				b.ReportMetric(100*float64(h1-h0)/float64(h1-h0+m1-m0), "intern-hit-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprintKey measures the 128-bit state key (what the search
+// seen-set and Try memo hash on) against rendering the textual fingerprint,
+// on the same one-intros-deep states as BenchmarkFingerprint. Fresh states
+// each iteration, so the per-state memo never amortizes the walk away.
+func BenchmarkFingerprintKey(b *testing.B) {
+	c := loadCorpus(b)
+	ths := c.Theorems
+	if len(ths) > 50 {
+		ths = ths[:50]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range ths {
+			st := tactic.NewState(c.Env, th.Stmt)
+			if ns, err := tactic.ApplySentence(st, "intros."); err == nil {
+				st = ns
+			}
+			if st.FingerprintKey() == ([2]uint64{}) {
+				b.Fatal("zero fingerprint key")
+			}
+		}
+	}
+}
+
+// BenchmarkSubstFastPath measures ApplySubst when the substitution cannot
+// touch the term: the variable-signature bloom filter returns the original
+// pointer without walking ("miss"), against a substitution that really
+// rewrites an occurrence ("hit").
+func BenchmarkSubstFastPath(b *testing.B) {
+	tm := kernel.A("plus",
+		kernel.A("mult", kernel.V("n"), kernel.A("S", kernel.V("m"))),
+		kernel.A("app", kernel.V("l"), kernel.A("cons", kernel.V("x"), kernel.V("l"))))
+	for _, bc := range []struct {
+		name string
+		sub  kernel.Subst
+	}{
+		{"miss", kernel.Subst{"absent": kernel.A("O")}},
+		{"hit", kernel.Subst{"n": kernel.A("S", kernel.A("O"))}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if bc.sub["absent"] != nil && tm.ApplySubst(bc.sub) != tm {
+					b.Fatal("fast path did not return the original pointer")
+				} else if bc.sub["absent"] == nil && tm.ApplySubst(bc.sub) == tm {
+					b.Fatal("substitution did not rewrite")
+				}
+			}
+		})
 	}
 }
 

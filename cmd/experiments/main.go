@@ -19,6 +19,7 @@ import (
 	"llmfscq/internal/corpus"
 	"llmfscq/internal/eval"
 	"llmfscq/internal/faultpoint"
+	"llmfscq/internal/kernel"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
 	"llmfscq/internal/protocol"
@@ -45,6 +46,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "bound on concurrent searches across the whole grid (overrides -par; 0 = use -par)")
 		searchPar   = flag.Int("search-parallelism", 1, "concurrent candidate executions within one expansion (1 = serial; tables are identical at every setting)")
 		tryCache    = flag.Bool("try-cache", false, "share a cross-search Try memoization cache across the grid (tables are identical either way)")
+		intern      = flag.Bool("intern", true, "hash-cons kernel terms and formulas in a shared arena (tables are identical either way; off disables only the pointer dedup)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
@@ -59,6 +61,7 @@ func main() {
 		wireBatch   = flag.Bool("wire-batch", true, "cross-check remote expansions with batched ExecBatch round trips instead of lockstep Exec (-backend=remote)")
 	)
 	flag.Parse()
+	kernel.SetInterning(*intern)
 	if !(*fig1a || *fig1b || *table1 || *table2 || *fig2 || *probe || *whole || *ablate) {
 		*all = true
 	}
@@ -112,8 +115,12 @@ func main() {
 	finishBackend := setupBackend(r, *backend, *checkerd, *faults, *faultSeed, *wireTimeout, *wireBatch)
 	defer finishBackend()
 	defer func() {
-		if hits, misses, entries := r.TryCacheStats(); hits+misses > 0 {
-			fmt.Fprintf(os.Stderr, "try-cache: hits=%d misses=%d entries=%d\n", hits, misses, entries)
+		if hits, misses, evicted, entries := r.TryCacheStats(); hits+misses > 0 {
+			fmt.Fprintf(os.Stderr, "try-cache: hits=%d misses=%d evicted=%d entries=%d\n", hits, misses, evicted, entries)
+		}
+		if hits, misses := kernel.InternStats(); hits+misses > 0 {
+			fmt.Fprintf(os.Stderr, "intern: hits=%d misses=%d (%.1f%% hit rate)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses))
 		}
 	}()
 

@@ -67,6 +67,7 @@ func All() []*Analyzer {
 		analyzerGoroutine,
 		analyzerFaultpoint,
 		analyzerSearchMerge,
+		analyzerInternKernel,
 		analyzerDeadLemma,
 		analyzerDupStmt,
 		analyzerIntrosHyps,

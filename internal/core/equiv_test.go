@@ -8,6 +8,7 @@ import (
 
 	"llmfscq/internal/checker"
 	"llmfscq/internal/corpus"
+	"llmfscq/internal/kernel"
 	"llmfscq/internal/model"
 	"llmfscq/internal/protocol"
 	"llmfscq/internal/remote"
@@ -108,18 +109,29 @@ func TestSearchModeEquivalence(t *testing.T) {
 				}
 				want := alg.search(base)
 				modes := []struct {
-					name string
-					mut  func(*Config)
+					name      string
+					internOff bool
+					mut       func(*Config)
 				}{
-					{"parallel", func(c *Config) { c.Parallelism = 4 }},
-					{"cached", func(c *Config) { c.Cache = shared }},
-					{"parallel+cached", func(c *Config) { c.Parallelism = 2; c.Cache = shared }},
-					{"remote-batched", func(c *Config) { c.Backend = be }},
+					{"parallel", false, func(c *Config) { c.Parallelism = 4 }},
+					{"cached", false, func(c *Config) { c.Cache = shared }},
+					{"parallel+cached", false, func(c *Config) { c.Parallelism = 2; c.Cache = shared }},
+					{"remote-batched", false, func(c *Config) { c.Backend = be }},
+					// Interning only changes pointer coincidences, never results:
+					// the cached leg stays shared so intern-off searches must also
+					// reuse (and produce) the same 128-bit-keyed entries.
+					{"intern-off", true, func(c *Config) { c.Parallelism = 2; c.Cache = shared }},
 				}
 				for _, m := range modes {
 					cfg := base
 					m.mut(&cfg)
+					if m.internOff {
+						kernel.SetInterning(false)
+					}
 					got := alg.search(cfg)
+					if m.internOff {
+						kernel.SetInterning(true)
+					}
 					if !reflect.DeepEqual(got, want) {
 						t.Errorf("seed=%d %s/%s/%s diverged:\n got %+v\nwant %+v",
 							seed, name, alg.name, m.name, got, want)
@@ -128,7 +140,7 @@ func TestSearchModeEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if hits, misses, _ := shared.Stats(); hits == 0 || misses == 0 {
+	if hits, misses, _, _ := shared.Stats(); hits == 0 || misses == 0 {
 		t.Fatalf("cache never exercised both paths: hits=%d misses=%d", hits, misses)
 	}
 	// The remote legs mask wire trouble by design; the equivalence above is

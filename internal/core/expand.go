@@ -1,7 +1,6 @@
 package core
 
 import (
-	"crypto/sha256"
 	"sync"
 
 	"llmfscq/internal/checker"
@@ -36,22 +35,6 @@ type expander struct {
 	par   int
 	cache *TryCache
 	env   *kernel.Env
-
-	// keyBuf is the reused stateKey hashing scratch.
-	keyBuf []byte
-}
-
-// stateKey computes the strict TryCache identity of a parent state: a hash
-// over the NUL-separated concrete goal renderings (memoized on the goals —
-// see tactic.Goal.StrictString), in goal order.
-func (x *expander) stateKey(st *tactic.State) stateKey {
-	buf := x.keyBuf[:0]
-	for _, g := range st.Goals {
-		buf = append(buf, g.StrictString()...)
-		buf = append(buf, 0)
-	}
-	x.keyBuf = buf
-	return sha256.Sum256(buf)
 }
 
 func newExpander(cfg Config, doc checker.Doc) *expander {
@@ -112,7 +95,9 @@ func (x *expander) expand(parent *tactic.State, path []string, cands []model.Can
 		done:   make([]bool, len(cands)),
 	}
 	if x.cache != nil {
-		e.key = x.stateKey(parent)
+		// The strict TryCache identity is the state's 128-bit StrictKey — an
+		// O(#goals) combine over stored node hashes; no rendering happens.
+		e.key = parent.StrictKey()
 		for i := range e.cands {
 			if step, ok := x.cache.Get(x.env, e.key, e.cands[i].Tactic); ok {
 				e.steps[i], e.done[i] = step, true
@@ -131,12 +116,9 @@ func (x *expander) expand(parent *tactic.State, path []string, cands []model.Can
 	if len(miss) == 0 {
 		return e
 	}
-	// Force the parent's lazy fingerprint memos (state and goals) before
-	// anything runs concurrently: tactics fingerprint the goals they are
-	// handed (e.g. repeat's progress check), and the memo write is not
-	// synchronized. The searches keep parents warm anyway (the seen set is
-	// fingerprint-keyed), so this is a cheap no-op in practice.
-	parent.Fingerprint()
+	// No memo pre-warming is needed before workers touch the parent: every
+	// lazy identity memo on states and goals is atomic, and a racing
+	// duplicate computation stores the same value.
 	if x.batch != nil {
 		sentences := make([]string, len(miss))
 		for j, i := range miss {

@@ -123,14 +123,15 @@ func (n *node) path() []string {
 // expansions — the common case; most searches resolve in far fewer queries
 // than the limit, so sizing for the worst case (QueryLimit*Width entries)
 // wastes more allocation per search than rehashing ever costs on the rare
-// deep one.
-func newSeen(cfg Config, root *node) map[string]bool {
+// deep one. The set keys on the 128-bit alpha-insensitive FingerprintKey:
+// fixed-size keys combined from precomputed node hashes, no rendering.
+func newSeen(cfg Config, root *node) map[[2]uint64]bool {
 	size := 8 * cfg.Width
 	if size < 16 {
 		size = 16
 	}
-	seen := make(map[string]bool, size)
-	seen[root.state.Fingerprint()] = true
+	seen := make(map[[2]uint64]bool, size)
+	seen[root.state.FingerprintKey()] = true
 	return seen
 }
 
@@ -230,7 +231,7 @@ func BestFirst(cfg Config) Result {
 				res.Proof = child.path()
 				return res
 			}
-			fp := out.State.Fingerprint()
+			fp := out.State.FingerprintKey()
 			if seen[fp] {
 				res.InvalidDuplicate++
 				continue
@@ -307,7 +308,7 @@ func Linear(cfg Config) Result {
 			res.Proof = child.path()
 			return res
 		}
-		fp := out.State.Fingerprint()
+		fp := out.State.FingerprintKey()
 		if seen[fp] {
 			res.InvalidDuplicate++
 			continue
@@ -363,7 +364,7 @@ func Greedy(cfg Config) Result {
 				res.Proof = child.path()
 				return res
 			}
-			fp := out.State.Fingerprint()
+			fp := out.State.FingerprintKey()
 			if seen[fp] {
 				res.InvalidDuplicate++
 				continue

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"crypto/sha256"
 	"sync"
 
 	"llmfscq/internal/checker"
@@ -13,23 +12,19 @@ import (
 // two keeps grid workers off each other's locks.
 const tryShards = 64
 
-// stateKey is the strict identity of a parent proof state: a hash over the
-// concrete goal renderings. It deliberately does NOT reuse
-// tactic.State.Fingerprint, which is alpha-insensitive to hypothesis and
-// binder names — tactics observe real names ("destruct H0.", the fresh
-// names intro picks), so two fingerprint-equal states can react differently
-// to the same sentence. Keying on the exact rendering (variable names,
-// hypothesis names, order, conclusion) makes a cache hit sound: the cached
-// Step is the Step this Try would have produced.
+// stateKey is the strict identity of a parent proof state: the state's
+// 128-bit StrictKey, a combine over the kernel's stored structural hashes of
+// every goal's variable names and types, hypothesis names and formulas, and
+// conclusion. It deliberately does NOT reuse the alpha-insensitive
+// fingerprint identity — tactics observe real names ("destruct H0.", the
+// fresh names intro picks), so two fingerprint-equal states can react
+// differently to the same sentence. Keying on the strict identity makes a
+// cache hit sound: the cached Step is the Step this Try would have produced.
 //
-// The hash is sha256, not maphash: maphash seeds per process, so a (never
-// observed) collision would make results vary run to run, while a fixed
-// cryptographic hash keeps the failure mode deterministic too.
-// The key is computed by expander.stateKey, which renders every goal of
-// the parent (focused goal order matters) into a NUL-separated buffer and
-// hashes it; the per-goal renderings are memoized per search, so each
-// distinct goal is rendered once, not once per expansion that can see it.
-type stateKey [sha256.Size]byte
+// The hash is seed-free and deterministic (no per-process maphash seeding),
+// so the — never observed, ~2^-128 — collision failure mode is at least
+// deterministic run to run.
+type stateKey [2]uint64
 
 // tryKey identifies one memoized execution: environment identity, strict
 // parent-state key, tactic sentence. The environment enters by pointer —
@@ -43,9 +38,9 @@ type tryKey struct {
 }
 
 type tryShard struct {
-	mu           sync.Mutex
-	m            map[tryKey]checker.Step
-	hits, misses int64
+	mu                    sync.Mutex
+	m                     map[tryKey]checker.Step
+	hits, misses, evicted int64
 }
 
 // TryCache memoizes tactic executions across the searches that share it:
@@ -59,22 +54,41 @@ type tryShard struct {
 // cached Step is byte-for-byte the Step a fresh execution would produce.
 // Invalidation: none needed within a run (envs and states never mutate);
 // the cache's lifetime is one grid run, so there is nothing to invalidate
-// across runs either.
+// across runs either. Eviction (sized caches only) is therefore also
+// harmless to outputs: a dropped entry costs a recompute that produces the
+// identical Step.
 type TryCache struct {
 	shards [tryShards]tryShard
+	// shardCap bounds entries per shard (0: unbounded). When a full shard
+	// admits a new entry, one arbitrary resident entry is dropped.
+	shardCap int
 }
 
-// NewTryCache builds an empty cache.
-func NewTryCache() *TryCache {
+// NewTryCache builds an empty, unbounded cache.
+func NewTryCache() *TryCache { return NewTryCacheSized(0) }
+
+// NewTryCacheSized builds a cache pre-sized for roughly `hint` resident
+// entries (a workload estimate, e.g. from grid dimensions and observed hit
+// rates), bounded at four times that to keep a misestimate from growing
+// without limit. hint <= 0 means unsized and unbounded.
+func NewTryCacheSized(hint int) *TryCache {
 	c := &TryCache{}
+	per := 0
+	if hint > 0 {
+		per = hint / tryShards
+		if per < 16 {
+			per = 16
+		}
+		c.shardCap = 4 * per
+	}
 	for i := range c.shards {
-		c.shards[i].m = map[tryKey]checker.Step{}
+		c.shards[i].m = make(map[tryKey]checker.Step, per)
 	}
 	return c
 }
 
 func (c *TryCache) shard(k tryKey) *tryShard {
-	return &c.shards[int(k.state[0])%tryShards]
+	return &c.shards[k.state[0]&(tryShards-1)]
 }
 
 // Get returns the memoized Step for (env, sk, sentence).
@@ -92,32 +106,34 @@ func (c *TryCache) Get(env *kernel.Env, sk stateKey, sentence string) (checker.S
 	return step, ok
 }
 
-// Put stores the Step. The successor state's lazy fingerprint memos (the
-// state's and each goal's) are forced first so readers in other searches
-// never race on them; the shard mutex publishes the warmed state. The
-// strict goal renderings need no warming — that memo is atomic and fills
-// lazily, only for goals of states that actually get expanded.
+// Put stores the Step. Successor-state identity memos need no warming here:
+// they are atomic and fill lazily in whichever search touches them first.
 func (c *TryCache) Put(env *kernel.Env, sk stateKey, sentence string, step checker.Step) {
-	if step.State != nil {
-		step.State.Fingerprint()
-	}
 	k := tryKey{env: env, state: sk, sentence: sentence}
 	s := c.shard(k)
 	s.mu.Lock()
+	if _, exists := s.m[k]; !exists && c.shardCap > 0 && len(s.m) >= c.shardCap {
+		for victim := range s.m {
+			delete(s.m, victim)
+			s.evicted++
+			break
+		}
+	}
 	s.m[k] = step
 	s.mu.Unlock()
 }
 
-// Stats reports lookups served from the cache and total entries, for logs
-// and benchmarks.
-func (c *TryCache) Stats() (hits, misses, entries int64) {
+// Stats reports lookups served from the cache, entries evicted by the
+// capacity bound, and resident entries, for logs and benchmarks.
+func (c *TryCache) Stats() (hits, misses, evicted, entries int64) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		hits += s.hits
 		misses += s.misses
+		evicted += s.evicted
 		entries += int64(len(s.m))
 		s.mu.Unlock()
 	}
-	return hits, misses, entries
+	return hits, misses, evicted, entries
 }

@@ -123,23 +123,37 @@ func NewRunner(c *corpus.Corpus, seed int64) *Runner {
 	}
 }
 
-// tryCache returns the shared Try memo when enabled (nil otherwise).
+// tryCache returns the shared Try memo when enabled (nil otherwise). The
+// cache is sized from grid statistics: a full sweep executes about
+// theorems × settings × QueryLimit × Width candidate tactics, of which
+// roughly a third are first-time misses at the grid's observed ~66% hit
+// rate — the rest are served from the cache and stay resident.
 func (r *Runner) tryCache() *core.TryCache {
 	if !r.TryCache || r.trymemo == nil {
 		return nil
 	}
-	r.trymemo.once.Do(func() { r.trymemo.cache = core.NewTryCache() })
+	r.trymemo.once.Do(func() {
+		width, limit := r.Width, r.QueryLimit
+		if width <= 0 {
+			width = 8
+		}
+		if limit <= 0 {
+			limit = 128
+		}
+		est := len(r.Corpus.Theorems) * 2 * limit * width * 34 / 100
+		r.trymemo.cache = core.NewTryCacheSized(est)
+	})
 	return r.trymemo.cache
 }
 
-// TryCacheStats reports the shared Try memo's lookup counters and size
-// (zeros when the cache is disabled). Stats are for logging only; tables
-// never depend on them.
-func (r *Runner) TryCacheStats() (hits, misses, entries int64) {
+// TryCacheStats reports the shared Try memo's lookup counters, capacity
+// evictions, and size (zeros when the cache is disabled). Stats are for
+// logging only; tables never depend on them.
+func (r *Runner) TryCacheStats() (hits, misses, evicted, entries int64) {
 	if c := r.tryCache(); c != nil {
 		return c.Stats()
 	}
-	return 0, 0, 0
+	return 0, 0, 0, 0
 }
 
 // TestSet returns the theorems not used as hints, in corpus order.

@@ -1,6 +1,9 @@
 package kernel
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // ErrFuel is returned when normalization runs out of fuel. Tactics surface
 // it as the "tactic timed out" condition (the paper's 5-second limit).
@@ -75,7 +78,7 @@ func (ev *Evaluator) norm(t *Term, depth int) (*Term, error) {
 		if scrut == t.Match.Scrut {
 			return t, nil
 		}
-		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: t.Match.Cases}}, nil
+		return mkMatch(scrut, t.Match.Cases), nil
 	default:
 		// Copy-on-write: terms are immutable, so an application whose
 		// arguments are already normal is returned as-is — normalization
@@ -98,17 +101,13 @@ func (ev *Evaluator) norm(t *Term, depth int) (*Term, error) {
 		head := t
 		if nargs != nil {
 			args = nargs
-			head = &Term{Fun: t.Fun, Args: nargs}
+			head = mkApp(t.Fun, nargs)
 		}
 		fd, isFun := ev.Env.Funs[t.Fun]
 		if !isFun || len(args) != len(fd.Params) {
 			return head, nil
 		}
-		sub := make(Subst, len(fd.Params))
-		for i, p := range fd.Params {
-			sub[p.Name] = args[i]
-		}
-		body := fd.Body.ApplySubst(sub)
+		body := instantiateBody(fd, args)
 		// Unfold guard, mirroring Coq's simpl: unfold the definition only if
 		// doing so makes iota progress (some match reduces). Definitions
 		// whose body contains no match at all always unfold.
@@ -122,6 +121,84 @@ func (ev *Evaluator) norm(t *Term, depth int) (*Term, error) {
 		}
 		return reduced, nil
 	}
+}
+
+// instantiateBody returns fd.Body with the parameters substituted by args,
+// memoized on pointer identity of (fd, args). With interning on, repeated
+// normalizations of the same call collapse to the same canonical argument
+// pointers, so unfolding a definition becomes a map hit instead of a
+// substitution walk. The memo only shares immutable terms, so hits are
+// observationally identical to recomputation; it is skipped for arities
+// above 4 and capped per shard to bound memory.
+type bodyMemoKey struct {
+	fd             *FunDef
+	a0, a1, a2, a3 *Term
+}
+
+type bodyMemoShard struct {
+	mu sync.Mutex
+	m  map[bodyMemoKey]*Term
+}
+
+const (
+	bodyMemoShards   = 64
+	bodyMemoShardCap = 1 << 15
+)
+
+var bodyMemo [bodyMemoShards]bodyMemoShard
+
+func paramSubst(params []TypedVar, args []*Term) Subst {
+	sub := make(Subst, len(params))
+	for i, p := range params {
+		sub[p.Name] = args[i]
+	}
+	return sub
+}
+
+func instantiateBody(fd *FunDef, args []*Term) *Term {
+	if len(args) > 4 {
+		return fd.Body.ApplySubst(paramSubst(fd.Params, args))
+	}
+	k := bodyMemoKey{fd: fd}
+	var hx uint64
+	for i, a := range args {
+		switch i {
+		case 0:
+			k.a0 = a
+		case 1:
+			k.a1 = a
+		case 2:
+			k.a2 = a
+		case 3:
+			k.a3 = a
+		}
+		if a != nil {
+			hx = hx*hmulB + a.hash
+		}
+	}
+	var bh uint64
+	if fd.Body != nil {
+		bh = fd.Body.hash
+	}
+	sh := &bodyMemo[hmix(hx^bh)&(bodyMemoShards-1)]
+	sh.mu.Lock()
+	if r, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return r
+	}
+	sh.mu.Unlock()
+	r := fd.Body.ApplySubst(paramSubst(fd.Params, args))
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[bodyMemoKey]*Term)
+	}
+	if prev, ok := sh.m[k]; ok {
+		r = prev
+	} else if len(sh.m) < bodyMemoShardCap {
+		sh.m[k] = r
+	}
+	sh.mu.Unlock()
+	return r
 }
 
 func containsMatch(t *Term) bool {
@@ -226,7 +303,7 @@ func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
 		if nargs == nil {
 			return f, nil
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: nargs}, nil
+		return mkPred(f.Pred, nargs), nil
 	case FNot:
 		l, err := ev.normForm(f.L, depth)
 		if err != nil {
@@ -248,7 +325,7 @@ func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
 		if l == f.L && r == f.R {
 			return f, nil
 		}
-		return &Form{Kind: f.Kind, L: l, R: r}, nil
+		return mkConn(f.Kind, l, r), nil
 	case FForall, FExists:
 		body, err := ev.normForm(f.Body, depth)
 		if err != nil {
@@ -257,7 +334,7 @@ func (ev *Evaluator) normForm(f *Form, depth int) (*Form, error) {
 		if body == f.Body {
 			return f, nil
 		}
-		return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: body}, nil
+		return mkQuant(f.Kind, f.Binder, f.BType, body), nil
 	}
 	return f, nil
 }
@@ -277,22 +354,17 @@ func (ev *Evaluator) UnfoldDef(name string, f *Form) (*Form, bool) {
 			for i, c := range t.Match.Cases {
 				cases[i] = MatchCase{Pat: c.Pat, RHS: walkTerm(c.RHS)}
 			}
-			return &Term{Match: &MatchExpr{Scrut: walkTerm(t.Match.Scrut), Cases: cases}}
+			return mkMatch(walkTerm(t.Match.Scrut), cases)
 		default:
 			args := make([]*Term, len(t.Args))
 			for i, a := range t.Args {
 				args[i] = walkTerm(a)
 			}
-			head := &Term{Fun: t.Fun, Args: args}
 			if fd, ok := ev.Env.Funs[t.Fun]; ok && t.Fun == name && len(args) == len(fd.Params) {
-				sub := make(Subst, len(fd.Params))
-				for i, p := range fd.Params {
-					sub[p.Name] = args[i]
-				}
 				changed = true
-				return fd.Body.ApplySubst(sub)
+				return instantiateBody(fd, args)
 			}
-			return head
+			return mkApp(t.Fun, args)
 		}
 	}
 	var walk func(f *Form) *Form
@@ -320,13 +392,13 @@ func (ev *Evaluator) UnfoldDef(name string, f *Form) (*Form, bool) {
 					return def.Body.SubstTerm(sub)
 				}
 			}
-			return &Form{Kind: FPred, Pred: f.Pred, Args: args}
+			return mkPred(f.Pred, args)
 		case FNot:
 			return Not(walk(f.L))
 		case FAnd, FOr, FImpl, FIff:
-			return &Form{Kind: f.Kind, L: walk(f.L), R: walk(f.R)}
+			return mkConn(f.Kind, walk(f.L), walk(f.R))
 		case FForall, FExists:
-			return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: walk(f.Body)}
+			return mkQuant(f.Kind, f.Binder, f.BType, walk(f.Body))
 		}
 		return f
 	}

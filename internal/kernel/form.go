@@ -41,25 +41,35 @@ type Form struct {
 	Binder string
 	BType  *Type
 	Body   *Form
+
+	// Strict structural hash (includes Binder and BType — it matches the
+	// concrete rendering, unlike Equal, which ignores BType), variable-name
+	// bloom signature, and the arena-dedup flag; see intern.go. hash == 0
+	// marks raw struct literals from test fixtures.
+	hash, hash2 uint64
+	varSig      uint64
+	interned    bool
 }
 
-// Constructors for each formula shape.
-func True() *Form         { return &Form{Kind: FTrue} }
-func False() *Form        { return &Form{Kind: FFalse} }
-func Eq(a, b *Term) *Form { return &Form{Kind: FEq, T1: a, T2: b} }
-func Pred(name string, args ...*Term) *Form {
-	return &Form{Kind: FPred, Pred: name, Args: args}
+// Constructors for each formula shape (interning; see intern.go).
+func True() *Form         { return finishForm(&Form{Kind: FTrue}, true) }
+func False() *Form        { return finishForm(&Form{Kind: FFalse}, true) }
+func Eq(a, b *Term) *Form {
+	return finishForm(&Form{Kind: FEq, T1: a, T2: b}, termInterned(a) && termInterned(b))
 }
-func Not(f *Form) *Form     { return &Form{Kind: FNot, L: f} }
-func And(a, b *Form) *Form  { return &Form{Kind: FAnd, L: a, R: b} }
-func Or(a, b *Form) *Form   { return &Form{Kind: FOr, L: a, R: b} }
-func Impl(a, b *Form) *Form { return &Form{Kind: FImpl, L: a, R: b} }
-func Iff(a, b *Form) *Form  { return &Form{Kind: FIff, L: a, R: b} }
+func Pred(name string, args ...*Term) *Form {
+	return mkPred(name, args)
+}
+func Not(f *Form) *Form     { return mkConn(FNot, f, nil) }
+func And(a, b *Form) *Form  { return mkConn(FAnd, a, b) }
+func Or(a, b *Form) *Form   { return mkConn(FOr, a, b) }
+func Impl(a, b *Form) *Form { return mkConn(FImpl, a, b) }
+func Iff(a, b *Form) *Form  { return mkConn(FIff, a, b) }
 func Forall(x string, ty *Type, body *Form) *Form {
-	return &Form{Kind: FForall, Binder: x, BType: ty, Body: body}
+	return mkQuant(FForall, x, ty, body)
 }
 func Exists(x string, ty *Type, body *Form) *Form {
-	return &Form{Kind: FExists, Binder: x, BType: ty, Body: body}
+	return mkQuant(FExists, x, ty, body)
 }
 
 // ImplChain builds prems[0] -> ... -> prems[n-1] -> concl.
@@ -71,10 +81,16 @@ func ImplChain(prems []*Form, concl *Form) *Form {
 	return out
 }
 
-// Equal reports structural (not alpha) equality.
+// Equal reports structural (not alpha) equality. Note there is no
+// hash-based fast path here: the stored form hash is strict (it includes
+// BType), while Equal deliberately ignores quantifier binder types, so hash
+// inequality does not imply Equal-inequality.
 func (f *Form) Equal(g *Form) bool {
+	if f == g {
+		return true
+	}
 	if f == nil || g == nil {
-		return f == g
+		return false
 	}
 	if f.Kind != g.Kind {
 		return false
@@ -104,9 +120,13 @@ func (f *Form) Equal(g *Form) bool {
 	return false
 }
 
-// AlphaEqual reports equality up to renaming of bound variables.
+// AlphaEqual reports equality up to renaming of bound variables (by
+// comparing 128-bit fingerprint keys; collisions are negligible).
 func (f *Form) AlphaEqual(g *Form) bool {
-	return f.Fingerprint() == g.Fingerprint()
+	if f == g {
+		return true
+	}
+	return f.FingerprintKey() == g.FingerprintKey()
 }
 
 // SubstTerm substitutes free term variables in the formula, capture-avoiding:
@@ -115,13 +135,25 @@ func (f *Form) SubstTerm(s Subst) *Form {
 	if f == nil || len(s) == 0 {
 		return f
 	}
+	return f.substTerm(s, s.sig())
+}
+
+func (f *Form) substTerm(s Subst, sig uint64) *Form {
+	if f == nil {
+		return f
+	}
+	if f.hash != 0 && f.varSig&sig == 0 {
+		// No name in the substitution's domain occurs anywhere in f (the
+		// signature covers bound names too), so this is the identity.
+		return f
+	}
 	switch f.Kind {
 	case FTrue, FFalse:
 		return f
 	case FEq:
 		// Forms are immutable: subtrees the substitution does not touch are
 		// returned as-is rather than rebuilt (likewise in every case below).
-		t1, t2 := f.T1.ApplySubst(s), f.T2.ApplySubst(s)
+		t1, t2 := f.T1.applySubst(s, sig), f.T2.applySubst(s, sig)
 		if t1 == f.T1 && t2 == f.T2 {
 			return f
 		}
@@ -129,7 +161,7 @@ func (f *Form) SubstTerm(s Subst) *Form {
 	case FPred:
 		var nargs []*Term
 		for i, a := range f.Args {
-			na := a.ApplySubst(s)
+			na := a.applySubst(s, sig)
 			if na != a && nargs == nil {
 				nargs = make([]*Term, len(f.Args))
 				copy(nargs, f.Args[:i])
@@ -141,26 +173,28 @@ func (f *Form) SubstTerm(s Subst) *Form {
 		if nargs == nil {
 			return f
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: nargs}
+		return mkPred(f.Pred, nargs)
 	case FNot:
-		l := f.L.SubstTerm(s)
+		l := f.L.substTerm(s, sig)
 		if l == f.L {
 			return f
 		}
 		return Not(l)
 	case FAnd, FOr, FImpl, FIff:
-		l, r := f.L.SubstTerm(s), f.R.SubstTerm(s)
+		l, r := f.L.substTerm(s, sig), f.R.substTerm(s, sig)
 		if l == f.L && r == f.R {
 			return f
 		}
-		return &Form{Kind: f.Kind, L: l, R: r}
+		return mkConn(f.Kind, l, r)
 	case FForall, FExists:
 		inner := s
+		innerSig := sig
 		binder := f.Binder
 		// Binder shadows any substitution for its own name.
 		if _, shadows := s[binder]; shadows {
 			inner = s.Clone()
 			delete(inner, binder)
+			innerSig = inner.sig()
 		}
 		// Capture check: if any substituted term mentions the binder, rename
 		// the binder first.
@@ -183,13 +217,13 @@ func (f *Form) SubstTerm(s Subst) *Form {
 			}
 			fresh := FreshName(binder, used)
 			renamed := f.Body.SubstTerm(Subst{binder: V(fresh)})
-			return &Form{Kind: f.Kind, Binder: fresh, BType: f.BType, Body: renamed.SubstTerm(inner)}
+			return mkQuant(f.Kind, fresh, f.BType, renamed.SubstTerm(inner))
 		}
-		body := f.Body.SubstTerm(inner)
+		body := f.Body.substTerm(inner, innerSig)
 		if body == f.Body {
 			return f
 		}
-		return &Form{Kind: f.Kind, Binder: binder, BType: f.BType, Body: body}
+		return mkQuant(f.Kind, binder, f.BType, body)
 	}
 	return f
 }
@@ -237,7 +271,15 @@ func (f *Form) addFreeVars(out, bound map[string]bool) {
 }
 
 // HasFreeVar reports whether x occurs free in f.
-func (f *Form) HasFreeVar(x string) bool { return f.FreeVars()[x] }
+func (f *Form) HasFreeVar(x string) bool {
+	if f == nil {
+		return false
+	}
+	if f.hash != 0 && f.varSig&varBit(x) == 0 {
+		return false
+	}
+	return f.FreeVars()[x]
+}
 
 // Size counts formula + term nodes.
 func (f *Form) Size() int {
@@ -371,14 +413,18 @@ func (f *Form) write(b *strings.Builder, outerPrec int) {
 
 // Fingerprint returns a canonical string for the formula with bound
 // variables alpha-renamed to positional names. Two alpha-equivalent formulas
-// have identical fingerprints.
+// have identical fingerprints. This textual form is kept for the wire
+// protocol's cross-checks and for display; internal pruning compares
+// FingerprintKey, a 128-bit hash of exactly this byte stream.
 func (f *Form) Fingerprint() string {
 	var b strings.Builder
 	f.fingerprint(&b, map[string]string{}, new(int))
 	return b.String()
 }
 
-func (f *Form) fingerprint(b *strings.Builder, ren map[string]string, ctr *int) {
+// fingerprint writes the canonical serialization to any fpSink — a
+// strings.Builder for the textual fingerprint, an fpHash for the key.
+func (f *Form) fingerprint(b fpSink, ren map[string]string, ctr *int) {
 	if f == nil {
 		b.WriteString("#nil")
 		return
@@ -440,7 +486,7 @@ func (f *Form) fingerprint(b *strings.Builder, ren map[string]string, ctr *int) 
 
 // fingerprintTerm renders a term canonically: match-pattern binders are
 // renamed positionally so alpha-variant stuck matches coincide.
-func fingerprintTerm(t *Term, b *strings.Builder, ren map[string]string, ctr *int) {
+func fingerprintTerm(t *Term, b fpSink, ren map[string]string, ctr *int) {
 	switch {
 	case t == nil:
 		b.WriteString("#nil")

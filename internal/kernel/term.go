@@ -28,6 +28,16 @@ type Term struct {
 	Fun   string
 	Args  []*Term
 	Match *MatchExpr
+
+	// Structural 128-bit hash and variable-name bloom signature, computed by
+	// the interning constructors (intern.go). hash == 0 marks a raw struct
+	// literal (test fixtures) whose keys are recomputed on demand; varSig
+	// covers bound names too, so it over-approximates the free variables.
+	hash, hash2 uint64
+	varSig      uint64
+	// interned is set only when the node was deduplicated through the arena
+	// with all-interned children; see intern.go for the invariant.
+	interned bool
 }
 
 // MatchExpr is a pattern match on a scrutinee term. Patterns are constructor
@@ -44,10 +54,10 @@ type MatchCase struct {
 }
 
 // V returns a variable term.
-func V(name string) *Term { return &Term{Var: name} }
+func V(name string) *Term { return mkVar(name) }
 
 // A returns an application term.
-func A(fun string, args ...*Term) *Term { return &Term{Fun: fun, Args: args} }
+func A(fun string, args ...*Term) *Term { return mkApp(fun, args) }
 
 // IsVar reports whether t is a variable.
 func (t *Term) IsVar() bool { return t != nil && t.Var != "" }
@@ -93,9 +103,24 @@ func ListLit(elems ...*Term) *Term {
 
 // Equal reports structural equality of terms.
 func (t *Term) Equal(u *Term) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil {
+		return false
+	}
+	if t.hash != 0 && u.hash != 0 {
+		if t.hash != u.hash || t.hash2 != u.hash2 {
+			return false
+		}
+		if t.interned && u.interned {
+			// Equal fully-interned nodes are pointer-identical; these are
+			// distinct pointers, so a 128-bit hash collision is the only way
+			// they could still be equal — treat as unequal.
+			return false
+		}
+	}
 	switch {
-	case t == nil || u == nil:
-		return t == u
 	case t.Var != "" || u.Var != "":
 		return t.Var == u.Var
 	case t.Match != nil || u.Match != nil:
@@ -238,6 +263,19 @@ func (t *Term) ApplySubst(s Subst) *Term {
 	if t == nil || len(s) == 0 {
 		return t
 	}
+	return t.applySubst(s, s.sig())
+}
+
+// applySubst threads the substitution's domain signature so subtrees whose
+// variable signature is disjoint from it are returned untouched without a
+// walk.
+func (t *Term) applySubst(s Subst, sig uint64) *Term {
+	if t == nil {
+		return t
+	}
+	if t.hash != 0 && t.varSig&sig == 0 {
+		return t
+	}
 	switch {
 	case t.Var != "":
 		if r, ok := s[t.Var]; ok {
@@ -297,26 +335,30 @@ func (t *Term) ApplySubst(s Subst) *Term {
 				pat = pat.Rename(ren)
 				rhs = rhs.Rename(ren)
 			}
-			cases[i] = MatchCase{Pat: pat, RHS: rhs.ApplySubst(inner)}
+			if needsTrim || captured {
+				cases[i] = MatchCase{Pat: pat, RHS: rhs.ApplySubst(inner)}
+			} else {
+				cases[i] = MatchCase{Pat: pat, RHS: rhs.applySubst(s, sig)}
+			}
 			if cases[i] != c {
 				changed = true
 			}
 		}
-		scrut := t.Match.Scrut.ApplySubst(s)
+		scrut := t.Match.Scrut.applySubst(s, sig)
 		// Terms are immutable, so when nothing was substituted the original
 		// is returned as-is rather than rebuilt (here and in the app case
 		// below) — most substitutions touch only a small subtree.
 		if !changed && scrut == t.Match.Scrut {
 			return t
 		}
-		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: cases}}
+		return mkMatch(scrut, cases)
 	default:
 		if len(t.Args) == 0 {
 			return t
 		}
 		var args []*Term
 		for i, a := range t.Args {
-			na := a.ApplySubst(s)
+			na := a.applySubst(s, sig)
 			if na != a && args == nil {
 				args = make([]*Term, len(t.Args))
 				copy(args, t.Args[:i])
@@ -328,7 +370,7 @@ func (t *Term) ApplySubst(s Subst) *Term {
 		if args == nil {
 			return t
 		}
-		return &Term{Fun: t.Fun, Args: args}
+		return mkApp(t.Fun, args)
 	}
 }
 
@@ -367,6 +409,10 @@ func (t *Term) addVars(out map[string]bool) {
 func (t *Term) HasVar(v string) bool {
 	switch {
 	case t == nil:
+		return false
+	case t.hash != 0 && t.varSig&varBit(v) == 0:
+		// The signature covers every occurring name (free and bound), so a
+		// miss proves absence.
 		return false
 	case t.Var != "":
 		return t.Var == v
@@ -499,6 +545,16 @@ func (t *Term) Rename(ren map[string]string) *Term {
 	if t == nil || len(ren) == 0 {
 		return t
 	}
+	return t.rename(ren, renSig(ren))
+}
+
+func (t *Term) rename(ren map[string]string, sig uint64) *Term {
+	if t == nil {
+		return t
+	}
+	if t.hash != 0 && t.varSig&sig == 0 {
+		return t
+	}
 	switch {
 	case t.Var != "":
 		if r, ok := ren[t.Var]; ok {
@@ -508,15 +564,15 @@ func (t *Term) Rename(ren map[string]string) *Term {
 	case t.Match != nil:
 		cases := make([]MatchCase, len(t.Match.Cases))
 		for i, c := range t.Match.Cases {
-			cases[i] = MatchCase{Pat: c.Pat.Rename(ren), RHS: c.RHS.Rename(ren)}
+			cases[i] = MatchCase{Pat: c.Pat.rename(ren, sig), RHS: c.RHS.rename(ren, sig)}
 		}
-		return &Term{Match: &MatchExpr{Scrut: t.Match.Scrut.Rename(ren), Cases: cases}}
+		return mkMatch(t.Match.Scrut.rename(ren, sig), cases)
 	default:
 		args := make([]*Term, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = a.Rename(ren)
+			args[i] = a.rename(ren, sig)
 		}
-		return &Term{Fun: t.Fun, Args: args}
+		return mkApp(t.Fun, args)
 	}
 }
 
@@ -576,7 +632,7 @@ func (t *Term) ReplaceAll(old, new *Term) (*Term, int) {
 		if n == 0 {
 			return t, 0
 		}
-		return &Term{Match: &MatchExpr{Scrut: scrut, Cases: cases}}, n
+		return mkMatch(scrut, cases), n
 	default:
 		total := 0
 		args := make([]*Term, len(t.Args))
@@ -588,7 +644,7 @@ func (t *Term) ReplaceAll(old, new *Term) (*Term, int) {
 		if total == 0 {
 			return t, 0
 		}
-		return &Term{Fun: t.Fun, Args: args}, total
+		return mkApp(t.Fun, args), total
 	}
 }
 

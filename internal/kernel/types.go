@@ -12,13 +12,17 @@ type Type struct {
 	Args []*Type
 	// TVar marks a type variable (bound by a `forall (A : Type)` binder).
 	TVar bool
+
+	// Structural hash and arena flag; see intern.go.
+	hash, hash2 uint64
+	interned    bool
 }
 
 // Ty builds an applied type.
-func Ty(name string, args ...*Type) *Type { return &Type{Name: name, Args: args} }
+func Ty(name string, args ...*Type) *Type { return mkType(name, args, false) }
 
 // TyVar builds a type variable.
-func TyVar(name string) *Type { return &Type{Name: name, TVar: true} }
+func TyVar(name string) *Type { return mkType(name, nil, true) }
 
 // TypeType is the sort of types themselves (the binder type of
 // `forall (A : Type), ...`).
@@ -51,8 +55,19 @@ func (ty *Type) String() string {
 
 // Equal reports structural equality of types.
 func (ty *Type) Equal(other *Type) bool {
+	if ty == other {
+		return true
+	}
 	if ty == nil || other == nil {
-		return ty == other
+		return false
+	}
+	if ty.hash != 0 && other.hash != 0 {
+		if ty.hash != other.hash || ty.hash2 != other.hash2 {
+			return false
+		}
+		if ty.interned && other.interned {
+			return false // equal interned types share one pointer
+		}
 	}
 	if ty.TVar != other.TVar || ty.Name != other.Name || len(ty.Args) != len(other.Args) {
 		return false
@@ -83,7 +98,7 @@ func (ty *Type) SubstTypes(s map[string]*Type) *Type {
 	for i, a := range ty.Args {
 		args[i] = a.SubstTypes(s)
 	}
-	return &Type{Name: ty.Name, Args: args}
+	return mkType(ty.Name, args, false)
 }
 
 // TypedVar is a variable with its declared type.

@@ -34,6 +34,9 @@ func Resolve(t *Term, sub Subst) *Term {
 
 // FullResolve applies the substitution recursively to every subterm.
 func FullResolve(t *Term, sub Subst) *Term {
+	if len(sub) == 0 {
+		return t
+	}
 	t = Resolve(t, sub)
 	switch {
 	case t == nil || t.Var != "":
@@ -43,7 +46,7 @@ func FullResolve(t *Term, sub Subst) *Term {
 		for i, c := range t.Match.Cases {
 			cases[i] = MatchCase{Pat: c.Pat, RHS: FullResolve(c.RHS, sub)}
 		}
-		return &Term{Match: &MatchExpr{Scrut: FullResolve(t.Match.Scrut, sub), Cases: cases}}
+		return mkMatch(FullResolve(t.Match.Scrut, sub), cases)
 	default:
 		if len(t.Args) == 0 {
 			return t
@@ -52,7 +55,7 @@ func FullResolve(t *Term, sub Subst) *Term {
 		for i, a := range t.Args {
 			args[i] = FullResolve(a, sub)
 		}
-		return &Term{Fun: t.Fun, Args: args}
+		return mkApp(t.Fun, args)
 	}
 }
 
@@ -71,13 +74,13 @@ func FullResolveForm(f *Form, sub Subst) *Form {
 		for i, a := range f.Args {
 			args[i] = FullResolve(a, sub)
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: args}
+		return mkPred(f.Pred, args)
 	case FNot:
 		return Not(FullResolveForm(f.L, sub))
 	case FAnd, FOr, FImpl, FIff:
-		return &Form{Kind: f.Kind, L: FullResolveForm(f.L, sub), R: FullResolveForm(f.R, sub)}
+		return mkConn(f.Kind, FullResolveForm(f.L, sub), FullResolveForm(f.R, sub))
 	case FForall, FExists:
-		return &Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: FullResolveForm(f.Body, sub)}
+		return mkQuant(f.Kind, f.Binder, f.BType, FullResolveForm(f.Body, sub))
 	}
 	return f
 }
@@ -115,9 +118,15 @@ func occurs(v string, t *Term, sub Subst) bool {
 func UnifyTerms(a, b *Term, flex map[string]bool, sub Subst) bool {
 	a = Resolve(a, sub)
 	b = Resolve(b, sub)
+	// Pointer-identical resolved terms always unify without bindings: every
+	// variable pair hit during the structural walk would be the same name on
+	// both sides, which unifies via the Var==Var cases binding nothing.
+	if a == b {
+		return true
+	}
 	switch {
 	case a == nil || b == nil:
-		return a == b
+		return false
 	case a.Var != "" && flex[a.Var]:
 		if b.Var == a.Var {
 			return true
@@ -308,7 +317,7 @@ func ReplaceAllForm(f *Form, old, new *Term) (*Form, int) {
 		if total == 0 {
 			return f, 0
 		}
-		return &Form{Kind: FPred, Pred: f.Pred, Args: args}, total
+		return mkPred(f.Pred, args), total
 	case FNot:
 		l, n := ReplaceAllForm(f.L, old, new)
 		if n == 0 {
@@ -321,7 +330,7 @@ func ReplaceAllForm(f *Form, old, new *Term) (*Form, int) {
 		if n1+n2 == 0 {
 			return f, 0
 		}
-		return &Form{Kind: f.Kind, L: l, R: r}, n1 + n2
+		return mkConn(f.Kind, l, r), n1 + n2
 	case FForall, FExists:
 		// Conservative: no rewriting under binders.
 		return f, 0

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"slices"
 	"sort"
 	"strings"
 
@@ -44,12 +43,24 @@ type Model struct {
 	// Propose scratch space, reused across the queries of a search. The
 	// sweep spends most of its time in Propose, and per-query maps and
 	// slices were the dominant allocation source.
-	pool, uniq         []scored
+	pool, uniq, jpool  []scored
+	slate              map[[2]uint64]*slateEntry
 	byText             map[string]int
 	goalSyms, hypSyms  map[string]bool
 	utils, probs, keys []float64
 	order              []int
 	out                []Candidate
+}
+
+// slateEntry is the memoized deterministic slate for one focused goal: the
+// structural + retrieval pool, already normalized and deduplicated. A Model
+// serves one search, so its prompt and n-gram are fixed for its lifetime
+// and the entry depends on the goal identity alone; only the prev-dependent
+// continuations and the rng-driven noise are folded in per query. byText
+// maps dedup key -> index into uniq and is read-only after construction.
+type slateEntry struct {
+	uniq   []scored
+	byText map[string]int
 }
 
 // New binds a profile to an environment.
@@ -84,64 +95,72 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 		return nil
 	}
 	goal := st.Goals[0]
-	pool := m.structural(m.pool[:0], goal)
-	pool = m.retrieval(pool, p, goal, ng)
-
 	prev := "<start>"
 	if len(path) > 0 {
 		prev = textmetrics.NormalizeScript(path[len(path)-1])
 	}
-	// Idiomatic continuations mined from hint proofs, including two-step
-	// compounds ("a; b") that cover a whole idiom in one query.
-	if ng != nil {
-		for _, cont := range ng.Continuations(prev, 3) {
-			pool = append(pool, scored{text: cont, h: 0.9})
-		}
-		for _, pair := range ng.ContinuationPairs(prev, 3) {
-			pool = append(pool, scored{text: pair.Text, h: 1.1 + 0.25*math.Log1p(pair.Count)})
-		}
-	}
-	// Capability noise: corrupted names and junk tactics compete with the
-	// real candidates.
-	pool = m.junk(pool, goal, p, rng)
 
-	// Deduplicate, keeping the best-scored variant. The normalized key is
-	// memoized per text: candidate texts repeat across the queries of a
-	// search (the retrieval pool is mostly stable), and normalization is a
-	// pure string function.
+	// The deterministic slate (structural + retrieval, deduplicated) is a
+	// pure function of the goal for this Model's fixed prompt and n-gram;
+	// searches revisit the same focused goal across queries (repeat's
+	// progress loops, siblings sharing unfocused goals), and the memo keys
+	// on StrictKey because candidate texts mention concrete names.
 	if m.norm == nil {
 		m.norm = map[string]string{}
 		m.byText = map[string]int{}
+	}
+	if m.slate == nil {
+		m.slate = map[[2]uint64]*slateEntry{}
+	}
+	gk := goal.StrictKey()
+	ent, revisit := m.slate[gk]
+	var uniq []scored
+	clear(m.byText)
+	var base map[string]int
+	if ent != nil {
+		uniq = append(m.uniq[:0], ent.uniq...)
+		base = ent.byText
 	} else {
-		clear(m.byText)
+		pool := m.structural(m.pool[:0], goal)
+		pool = m.retrieval(pool, p, goal, ng)
+		m.pool = pool
+		if revisit {
+			// Second sighting: this goal does recur, so the entry will pay
+			// for itself (first sightings — most goals in a search — stay
+			// in scratch and allocate nothing per query).
+			ent = &slateEntry{byText: make(map[string]int, len(pool))}
+			for _, c := range pool {
+				ent.uniq = m.fold(ent.uniq, ent.byText, nil, c)
+			}
+			m.slate[gk] = ent
+			uniq = append(m.uniq[:0], ent.uniq...)
+			base = ent.byText
+		} else {
+			m.slate[gk] = nil
+			uniq = m.uniq[:0]
+			for _, c := range pool {
+				uniq = m.fold(uniq, m.byText, nil, c)
+			}
+		}
 	}
-	byText := m.byText
-	uniq := m.uniq[:0]
-	for _, c := range pool {
-		key, ok := m.norm[c.text]
-		if !ok {
-			key = strings.TrimSuffix(textmetrics.NormalizeScript(c.text), ".")
-			m.norm[c.text] = key
+	// Fold the per-query candidates on top: the idiomatic continuations
+	// mined from hint proofs (prev-dependent, including two-step "a; b"
+	// compounds) and the capability noise (corrupted names and junk tactics
+	// competing with real candidates). Merge order matches a single deduped
+	// pool exactly, so slates are byte-identical to the memo-free path.
+	if ng != nil {
+		for _, cont := range ng.Continuations(prev, 3) {
+			uniq = m.fold(uniq, m.byText, base, scored{text: cont, h: 0.9})
 		}
-		if key == "" {
-			continue
+		for _, pair := range ng.ContinuationPairs(prev, 3) {
+			uniq = m.fold(uniq, m.byText, base, scored{text: pair.Text, h: 1.1 + 0.25*math.Log1p(pair.Count)})
 		}
-		if idx, ok := byText[key]; ok {
-			if c.h > uniq[idx].h {
-				uniq[idx].h = c.h
-			}
-			if c.r > uniq[idx].r {
-				uniq[idx].r = c.r
-			}
-			if c.j > uniq[idx].j {
-				uniq[idx].j = c.j
-			}
-			continue
-		}
-		byText[key] = len(uniq)
-		uniq = append(uniq, scored{text: key, h: c.h, r: c.r, j: c.j})
 	}
-	m.pool, m.uniq = pool, uniq
+	m.jpool = m.junk(m.jpool[:0], goal, p, rng)
+	for _, c := range m.jpool {
+		uniq = m.fold(uniq, m.byText, base, c)
+	}
+	m.uniq = uniq
 	if len(uniq) == 0 {
 		return nil
 	}
@@ -218,24 +237,29 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	for i, p := range probs {
 		keys[i] = math.Log(p) + gumbel(rng)
 	}
-	order := resizeInt(&m.order, len(uniq))
-	for i := range order {
-		order[i] = i
-	}
-	slices.SortStableFunc(order, func(a, b int) int {
-		if keys[a] > keys[b] {
-			return -1
-		}
-		if keys[a] < keys[b] {
-			return 1
-		}
-		return 0
-	})
+	// Stable top-k selection, equivalent to a full stable sort by key
+	// descending followed by order[:k] (k is MaxOutputs, at most 8, while
+	// the slate runs to hundreds): an insertion beats an equal key never —
+	// later indices stay after earlier ones, exactly the stable-sort order.
 	k := prof.MaxOutputs
-	if k > len(order) {
-		k = len(order)
+	if k > len(uniq) {
+		k = len(uniq)
 	}
-	order = order[:k]
+	order := resizeInt(&m.order, len(uniq))[:0]
+	for i := range keys {
+		n := len(order)
+		if n < k {
+			order = append(order, i)
+			n++
+		} else if keys[i] > keys[order[n-1]] {
+			order[n-1] = i
+		} else {
+			continue
+		}
+		for j := n - 1; j > 0 && keys[order[j]] > keys[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	pMax := 0.0
 	for _, idx := range order {
 		if probs[idx] > pMax {
@@ -465,6 +489,44 @@ func looksArith(f *kernel.Form) bool {
 	return false
 }
 
+// fold merges one candidate into the deduplicated slate, keeping the best
+// score per component for repeated keys. over is the per-query overlay
+// index; base, when non-nil, is a memoized slateEntry's read-only index
+// (its entries address the copied prefix of uniq, so merging through it is
+// safe — only uniq is mutated). Normalization is memoized per text: it is
+// a pure string function and candidate texts repeat heavily across the
+// queries of a search.
+func (m *Model) fold(uniq []scored, over map[string]int, base map[string]int, c scored) []scored {
+	key, ok := m.norm[c.text]
+	if !ok {
+		key = strings.TrimSuffix(textmetrics.NormalizeScript(c.text), ".")
+		m.norm[c.text] = key
+	}
+	if key == "" {
+		return uniq
+	}
+	idx, ok := over[key]
+	if !ok && base != nil {
+		idx, ok = base[key]
+	}
+	if ok {
+		if c.h > uniq[idx].h {
+			uniq[idx].h = c.h
+		}
+		if c.r > uniq[idx].r {
+			uniq[idx].r = c.r
+		}
+		if c.j > uniq[idx].j {
+			uniq[idx].j = c.j
+		}
+		return uniq
+	}
+	over[key] = len(uniq)
+	return append(uniq, scored{text: key, h: c.h, r: c.r, j: c.j})
+}
+
+// structural appends the goal-shape candidate pool: a pure function of
+// (goal, env), memoized at the slate level in Propose.
 func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 	add := func(text string, h float64) { out = append(out, scored{text: text, h: h}) }
 	c := g.Concl
@@ -594,7 +656,7 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 				add(fmt.Sprintf("apply %s.", h.Name), 2.0)
 			}
 		}
-		if h.Form.Fingerprint() == c.Fingerprint() {
+		if h.Form.FingerprintKey() == c.FingerprintKey() {
 			add("assumption.", 3.2)
 		}
 	}

@@ -129,11 +129,14 @@ func (p *Parser) parseTypeArrowless() (*kernel.Type, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Collect trailing argument atoms and rebuild at the end: types are
+	// interned, so the head node must never be mutated in place.
+	var extra []*kernel.Type
 	for {
 		t := p.cur()
 		if t.Kind == TIdent && !reserved[t.Text] {
 			p.pos++
-			head.Args = append(head.Args, kernel.Ty(t.Text))
+			extra = append(extra, kernel.Ty(t.Text))
 			continue
 		}
 		if p.peekSym("(") {
@@ -148,12 +151,18 @@ func (p *Parser) parseTypeArrowless() (*kernel.Type, error) {
 				p.restore(save)
 				break
 			}
-			head.Args = append(head.Args, arg)
+			extra = append(extra, arg)
 			continue
 		}
 		break
 	}
-	return head, nil
+	if len(extra) == 0 {
+		return head, nil
+	}
+	args := make([]*kernel.Type, 0, len(head.Args)+len(extra))
+	args = append(args, head.Args...)
+	args = append(args, extra...)
+	return kernel.MkType(head.Name, args, head.TVar), nil
 }
 
 // ParseArrowType parses `T1 -> T2 -> ... -> Tn`, returning a right-nested
@@ -378,7 +387,7 @@ func (p *Parser) parseMatchTerm() (*kernel.Term, error) {
 	if len(cases) == 0 {
 		return nil, p.errf("match with no cases")
 	}
-	return &kernel.Term{Match: &kernel.MatchExpr{Scrut: scrut, Cases: cases}}, nil
+	return kernel.NewMatch(scrut, cases), nil
 }
 
 // ---------------------------------------------------------------------------

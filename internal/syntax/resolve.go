@@ -53,7 +53,7 @@ func ResolveTerm(env *kernel.Env, t *kernel.Term, bound map[string]bool) (*kerne
 			}
 			cases[i] = kernel.MatchCase{Pat: pat, RHS: rhs}
 		}
-		return &kernel.Term{Match: &kernel.MatchExpr{Scrut: scrut, Cases: cases}}, nil
+		return kernel.NewMatch(scrut, cases), nil
 	default:
 		args := make([]*kernel.Term, len(t.Args))
 		for i, a := range t.Args {
@@ -63,7 +63,7 @@ func ResolveTerm(env *kernel.Env, t *kernel.Term, bound map[string]bool) (*kerne
 			}
 			args[i] = ra
 		}
-		return &kernel.Term{Fun: t.Fun, Args: args}, nil
+		return kernel.A(t.Fun, args...), nil
 	}
 }
 
@@ -98,7 +98,7 @@ func resolvePattern(env *kernel.Env, pat *kernel.Term) (*kernel.Term, []string, 
 				}
 				args[i] = ra
 			}
-			return &kernel.Term{Fun: p.Fun, Args: args}, nil
+			return kernel.A(p.Fun, args...), nil
 		}
 	}
 	out, err := walk(pat)
@@ -156,7 +156,7 @@ func ResolveForm(env *kernel.Env, f *kernel.Form, bound map[string]bool) (*kerne
 		if err != nil {
 			return nil, err
 		}
-		return &kernel.Form{Kind: f.Kind, L: l, R: r}, nil
+		return kernel.Conn(f.Kind, l, r), nil
 	case kernel.FForall, kernel.FExists:
 		inner := cloneSet(bound)
 		inner[f.Binder] = true
@@ -164,7 +164,7 @@ func ResolveForm(env *kernel.Env, f *kernel.Form, bound map[string]bool) (*kerne
 		if err != nil {
 			return nil, err
 		}
-		return &kernel.Form{Kind: f.Kind, Binder: f.Binder, BType: f.BType, Body: body}, nil
+		return kernel.Quant(f.Kind, f.Binder, f.BType, body), nil
 	}
 	return f, nil
 }
@@ -190,5 +190,5 @@ func MarkTypeVars(ty *kernel.Type, tvars map[string]bool) *kernel.Type {
 	for i, a := range ty.Args {
 		args[i] = MarkTypeVars(a, tvars)
 	}
-	return &kernel.Type{Name: ty.Name, Args: args, TVar: ty.TVar}
+	return kernel.MkType(ty.Name, args, ty.TVar)
 }

@@ -157,7 +157,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 					next = append(next, sub)
 					continue
 				}
-				if len(res) == 1 && res[0].Fingerprint() == sub.Fingerprint() {
+				if len(res) == 1 && res[0].FingerprintKey() == sub.FingerprintKey() {
 					next = append(next, sub)
 					continue
 				}
@@ -352,9 +352,9 @@ func tacIntros(env *kernel.Env, g *Goal, names []string) ([]*Goal, error) {
 // Closing tactics
 
 func tacAssumption(env *kernel.Env, g *Goal) ([]*Goal, error) {
-	want := g.Concl.Fingerprint()
+	want := g.Concl.FingerprintKey()
 	for _, h := range g.Hyps {
-		if h.Form.Fingerprint() == want {
+		if h.Form.FingerprintKey() == want {
 			return nil, nil
 		}
 	}
@@ -366,13 +366,13 @@ func tacExact(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
 		return nil, nil
 	}
 	if h, ok := g.HypNamed(name); ok {
-		if h.Form.Fingerprint() == g.Concl.Fingerprint() {
+		if h.Form.FingerprintKey() == g.Concl.FingerprintKey() {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("tactic: hypothesis %q does not match the goal", name)
 	}
 	if l, ok := env.Lemmas[name]; ok {
-		if l.Stmt.Fingerprint() == g.Concl.Fingerprint() {
+		if l.Stmt.FingerprintKey() == g.Concl.FingerprintKey() {
 			return nil, nil
 		}
 		// A lemma may match after instantiation; delegate to apply.
@@ -728,7 +728,7 @@ func tacReflexivity(env *kernel.Env, g *Goal) ([]*Goal, error) {
 		}
 		return nil, errors.New("tactic: terms are not convertible")
 	case kernel.FIff:
-		if g.Concl.L.Fingerprint() == g.Concl.R.Fingerprint() {
+		if g.Concl.L.FingerprintKey() == g.Concl.R.FingerprintKey() {
 			return nil, nil
 		}
 		return nil, errors.New("tactic: sides of iff differ")
@@ -801,9 +801,9 @@ func tacContradiction(env *kernel.Env, g *Goal) ([]*Goal, error) {
 		if h.Form.Kind != kernel.FNot {
 			continue
 		}
-		want := h.Form.L.Fingerprint()
+		want := h.Form.L.FingerprintKey()
 		for _, h2 := range g.Hyps {
-			if h2.Form.Fingerprint() == want {
+			if h2.Form.FingerprintKey() == want {
 				return nil, nil
 			}
 		}
@@ -917,7 +917,7 @@ func tacSpecialize(env *kernel.Env, g *Goal, hname string, args []*kernel.Term) 
 			if !ok {
 				return nil, fmt.Errorf("tactic: no hypothesis %q", a.Var)
 			}
-			if prem.Form.Fingerprint() != f.L.Fingerprint() {
+			if prem.Form.FingerprintKey() != f.L.FingerprintKey() {
 				return nil, fmt.Errorf("tactic: hypothesis %q does not match the premise", a.Var)
 			}
 			f = f.R

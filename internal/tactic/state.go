@@ -8,6 +8,7 @@ package tactic
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -26,17 +27,17 @@ type Goal struct {
 	Hyps  []Hyp
 	Concl *kernel.Form
 
-	// fp memoizes Fingerprint. Goals are shared between the states of one
-	// search and never mutated after a tactic returns them, so the first
-	// computed fingerprint stays valid; constructors and Clone leave it
-	// empty so in-place edits on fresh copies cannot see a stale value.
-	fp string
-	// strict memoizes StrictString. Unlike fp — which every sharer warms
-	// before publication — this memo fills lazily from whichever search
-	// renders the goal first, and Try-cached states are shared across
-	// concurrent searches, so it must be atomic. A racing duplicate
-	// computation is benign: both goroutines store the same rendering.
-	strict atomic.Pointer[string]
+	// Lazily memoized identities. Goals are shared between the states of
+	// one search, between parallel expansion workers, and (through the
+	// cross-search Try cache) between concurrent searches, so every memo is
+	// atomic and fills from whichever goroutine computes it first; a racing
+	// duplicate computation is benign — both store the same value.
+	// Constructors and Clone leave them empty so in-place edits on fresh
+	// copies cannot see a stale value.
+	fp        atomic.Pointer[string]    // textual Fingerprint (boundary/display)
+	fpk       atomic.Pointer[[2]uint64] // FingerprintKey (pruning)
+	strict    atomic.Pointer[string]    // StrictString (concrete rendering)
+	strictKey atomic.Pointer[[2]uint64] // StrictKey (cache identity)
 }
 
 // State is a proof state: an ordered list of open goals (the first is
@@ -46,8 +47,11 @@ type State struct {
 	Env   *kernel.Env
 	Goals []*Goal
 
-	// fp memoizes Fingerprint (states are immutable once built).
-	fp string
+	// Lazily memoized identities (states are immutable once built; memos
+	// are atomic for the same sharing reasons as Goal's).
+	fp        atomic.Pointer[string]
+	fpk       atomic.Pointer[[2]uint64]
+	strictKey atomic.Pointer[[2]uint64]
 }
 
 // NewState starts a proof of stmt in env: quantifiers are NOT introduced
@@ -199,27 +203,102 @@ func (g *Goal) StrictString() string {
 	return s
 }
 
-// Fingerprint returns a canonical identifier for the goal: hypotheses are
-// alpha-insensitive to their names, sorted, and the conclusion fingerprinted.
-// Used by the search to prune duplicate proof states.
-func (g *Goal) Fingerprint() string {
-	if g.fp != "" {
-		return g.fp
+// StrictKey returns a 128-bit hash of the goal's concrete identity: variable
+// names and types, hypothesis names and formulas, and the conclusion, all via
+// the kernel's stored strict structural hashes. Equal keys coincide (w.h.p.)
+// with equal StrictStrings, but computing one is an O(#hyps) combine over
+// precomputed node hashes with no rendering.
+func (g *Goal) StrictKey() [2]uint64 {
+	if p := g.strictKey.Load(); p != nil {
+		return *p
 	}
-	// Rename context variables positionally so alpha-variant goals coincide;
-	// hypothesis *names* never enter the fingerprint, and hypotheses are
-	// sorted so their order is irrelevant too.
+	h := kernel.NewKeyHasher(0x67)
+	h.Word(uint64(len(g.Vars)))
+	for _, v := range g.Vars {
+		h.Str(v.Name)
+		h.Pair(v.Type.HashKey())
+	}
+	h.Word(uint64(len(g.Hyps)))
+	for _, hy := range g.Hyps {
+		h.Str(hy.Name)
+		h.Pair(hy.Form.HashKey())
+	}
+	h.Pair(g.Concl.HashKey())
+	k := h.Sum()
+	g.strictKey.Store(&k)
+	return k
+}
+
+// fpRen builds the positional context-variable renaming shared by
+// Fingerprint and FingerprintKey.
+func (g *Goal) fpRen() kernel.Subst {
 	ren := make(kernel.Subst, len(g.Vars))
 	for i, v := range g.Vars {
-		ren[v.Name] = kernel.V(fmt.Sprintf("v%d", i))
+		ren[v.Name] = kernel.V("v" + strconv.Itoa(i))
 	}
+	return ren
+}
+
+// Fingerprint returns a canonical identifier for the goal: hypotheses are
+// alpha-insensitive to their names, sorted, and the conclusion fingerprinted.
+// Each hypothesis fingerprint is length-prefixed so the joined string is
+// unambiguous: without the prefix, a single hypothesis whose fingerprint
+// happens to contain the join separator collides with a pair of hypotheses.
+// Kept textual for the wire-protocol boundary and display; search-internal
+// pruning uses FingerprintKey.
+func (g *Goal) Fingerprint() string {
+	if p := g.fp.Load(); p != nil {
+		return *p
+	}
+	ren := g.fpRen()
 	hyps := make([]string, 0, len(g.Hyps))
 	for _, h := range g.Hyps {
 		hyps = append(hyps, h.Form.SubstTerm(ren).Fingerprint())
 	}
 	sort.Strings(hyps)
-	g.fp = strings.Join(hyps, "|") + "⊢" + g.Concl.SubstTerm(ren).Fingerprint()
-	return g.fp
+	var b strings.Builder
+	for _, h := range hyps {
+		fmt.Fprintf(&b, "%d:%s|", len(h), h)
+	}
+	b.WriteString("⊢")
+	b.WriteString(g.Concl.SubstTerm(ren).Fingerprint())
+	s := b.String()
+	g.fp.Store(&s)
+	return s
+}
+
+// FingerprintKey is the 128-bit equivalent of Fingerprint: per-hypothesis
+// alpha-insensitive keys (context variables renamed positionally by seeding
+// the fingerprint walk, which is equivalent to substituting first), sorted,
+// combined with the conclusion key. Equal keys coincide (w.h.p.) with equal
+// textual fingerprints, with no substitution walk and no rendering.
+func (g *Goal) FingerprintKey() [2]uint64 {
+	if p := g.fpk.Load(); p != nil {
+		return *p
+	}
+	ren := make(map[string]string, len(g.Vars))
+	for i, v := range g.Vars {
+		ren[v.Name] = "v" + strconv.Itoa(i)
+	}
+	hyps := make([][2]uint64, 0, len(g.Hyps))
+	for _, h := range g.Hyps {
+		hyps = append(hyps, kernel.FingerprintKeySeeded(h.Form, ren))
+	}
+	sort.Slice(hyps, func(i, j int) bool {
+		if hyps[i][0] != hyps[j][0] {
+			return hyps[i][0] < hyps[j][0]
+		}
+		return hyps[i][1] < hyps[j][1]
+	})
+	h := kernel.NewKeyHasher(0x68)
+	h.Word(uint64(len(hyps)))
+	for _, hk := range hyps {
+		h.Pair(hk)
+	}
+	h.Pair(kernel.FingerprintKeySeeded(g.Concl, ren))
+	k := h.Sum()
+	g.fpk.Store(&k)
+	return k
 }
 
 // Fingerprint of the whole state: concatenation over goals. Goal order
@@ -228,15 +307,54 @@ func (s *State) Fingerprint() string {
 	if len(s.Goals) == 0 {
 		return "<proved>"
 	}
-	if s.fp != "" {
-		return s.fp
+	if p := s.fp.Load(); p != nil {
+		return *p
 	}
 	parts := make([]string, len(s.Goals))
 	for i, g := range s.Goals {
 		parts[i] = g.Fingerprint()
 	}
-	s.fp = strings.Join(parts, " || ")
-	return s.fp
+	fp := strings.Join(parts, " || ")
+	s.fp.Store(&fp)
+	return fp
+}
+
+// provedKey is the FingerprintKey of the empty (proved) state.
+var provedKey = [2]uint64{0x70726f766564, 0x646576726f7270}
+
+// FingerprintKey is the 128-bit equivalent of the state Fingerprint.
+func (s *State) FingerprintKey() [2]uint64 {
+	if len(s.Goals) == 0 {
+		return provedKey
+	}
+	if p := s.fpk.Load(); p != nil {
+		return *p
+	}
+	h := kernel.NewKeyHasher(0x69)
+	h.Word(uint64(len(s.Goals)))
+	for _, g := range s.Goals {
+		h.Pair(g.FingerprintKey())
+	}
+	k := h.Sum()
+	s.fpk.Store(&k)
+	return k
+}
+
+// StrictKey is the 128-bit strict (name-sensitive) identity of the state's
+// goals, used by caches whose entries must distinguish concrete renderings.
+// The environment is not included; cache keys pair it separately.
+func (s *State) StrictKey() [2]uint64 {
+	if p := s.strictKey.Load(); p != nil {
+		return *p
+	}
+	h := kernel.NewKeyHasher(0x6a)
+	h.Word(uint64(len(s.Goals)))
+	for _, g := range s.Goals {
+		h.Pair(g.StrictKey())
+	}
+	k := h.Sum()
+	s.strictKey.Store(&k)
+	return k
 }
 
 // String renders the state: the focused goal in full, others as one-liners.

@@ -57,6 +57,8 @@ go run ./cmd/experiments -all -seed 2025 -search-parallelism=8 -try-cache \
 echo "==> experiments -all -backend=remote (clean network, lockstep wire)"
 go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-wire-batch=false >"$tmp/remote.out"
+echo "==> experiments -all -intern=false (hash-consing disabled)"
+go run ./cmd/experiments -all -seed 2025 -intern=false >"$tmp/nointern.out"
 echo "==> experiments -all -backend=remote (chaos schedule, batched wire)"
 go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-faults 'drop-conn=0.0005,stall=0.00002,corrupt-answer=0.0002,partial-write=0.0002' \
@@ -73,6 +75,10 @@ cmp "$tmp/inprocess.out" "$tmp/chaos.out" || {
 	echo "check: FAIL: fault-injected backend tables differ from in-process" >&2
 	exit 1
 }
-echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos)"
+cmp "$tmp/inprocess.out" "$tmp/nointern.out" || {
+	echo "check: FAIL: tables differ with hash-consing disabled" >&2
+	exit 1
+}
+echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos = intern-off)"
 
 echo "check: all gates passed"
