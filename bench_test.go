@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"llmfscq/internal/analysis"
 	"llmfscq/internal/checker"
 	"llmfscq/internal/core"
 	"llmfscq/internal/corpus"
@@ -530,6 +531,28 @@ func BenchmarkFingerprint(b *testing.B) {
 			if st.Fingerprint() == "" {
 				b.Fatal("empty fingerprint")
 			}
+		}
+	}
+}
+
+// BenchmarkTypedLoad measures the typed-analysis tier end to end: parse
+// the module, type-check every package against the shared stdlib importer,
+// build the call graph, and compute the hot set — the cost every
+// `cmd/lint -family typed` invocation (and the check.sh gate) pays. The
+// standard-library closure is type-checked once per process, so
+// steady-state iterations price the module itself.
+func BenchmarkTypedLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := analysis.LoadModule(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if hot := m.CallGraph().HotSet(); len(hot) == 0 {
+			b.Fatal("empty hot set")
 		}
 	}
 }

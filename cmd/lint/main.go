@@ -7,22 +7,34 @@
 //
 // With no package arguments (or the literal "./...") every Go package under
 // the current module is analyzed, plus the embedded corpus. Exits nonzero
-// when any finding survives suppression.
+// when any finding survives suppression and the baseline.
+//
+// Three analyzer families share the run: the cheap AST tier ("go"), the
+// go/types tier ("typed": call-graph hot-path allocation, kernel-node
+// mutation, atomic/plain mixing, dropped wire errors), and the proof-corpus
+// tier ("corpus"). The module sources are parsed exactly once and shared by
+// the go and typed tiers; type-checking happens only when a typed analyzer
+// is selected.
 //
 // Flags:
 //
-//	-json            emit findings as a JSON array instead of text
-//	-enable  a,b     run only the named analyzers
-//	-disable a,b     skip the named analyzers
-//	-corpus=false    skip the corpus analyzers
-//	-list            print the analyzer inventory and exit
+//	-json                emit findings as a JSON array (family included)
+//	-enable  a,b         run only the named analyzers
+//	-disable a,b         skip the named analyzers
+//	-family  go,typed    run only the named families (go|typed|corpus)
+//	-corpus=false        skip the corpus analyzers (same as excluding the
+//	                     corpus family)
+//	-baseline FILE       accepted-findings baseline (default
+//	                     lint_baseline.json at the module root; matching is
+//	                     line-insensitive, see internal/analysis/baseline.go)
+//	-write-baseline      freeze the current findings into -baseline and exit
+//	-list                print the analyzer inventory and exit
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,60 +46,113 @@ import (
 
 func main() {
 	var (
-		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
-		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
-		doCorpus = flag.Bool("corpus", true, "run the corpus analyzers over the embedded corpus")
-		listOnly = flag.Bool("list", false, "print the analyzer inventory and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		enable    = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = flag.String("disable", "", "comma-separated analyzers to skip")
+		family    = flag.String("family", "", "comma-separated analyzer families to run: go, typed, corpus (default: all)")
+		doCorpus  = flag.Bool("corpus", true, "run the corpus analyzers over the embedded corpus")
+		baseline  = flag.String("baseline", "lint_baseline.json", "baseline file of accepted findings (relative paths resolve at the module root)")
+		writeBase = flag.Bool("write-baseline", false, "freeze the current findings into -baseline and exit")
+		listOnly  = flag.Bool("list", false, "print the analyzer inventory and exit")
 	)
 	flag.Parse()
 
 	if *listOnly {
 		for _, a := range analysis.All() {
-			family := "go"
-			if a.Corpus != nil {
-				family = "corpus"
-			}
-			fmt.Printf("%-14s (%s) %s\n", a.Name, family, a.Doc)
+			fmt.Printf("%-14s (%s) %s\n", a.Name, a.Family(), a.Doc)
 		}
 		return
 	}
 
 	azs, err := analysis.Select(*enable, *disable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	families, err := familySet(*family)
+	if err != nil {
+		fatal(err)
+	}
+	if !*doCorpus {
+		delete(families, "corpus")
+	}
+	var selected []*analysis.Analyzer
+	for _, a := range azs {
+		if families[a.Family()] {
+			selected = append(selected, a)
+		}
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	dirs, err := targetDirs(root, flag.Args())
+	// One parse serves every family: the module loader wraps the same
+	// GoPackage values (ASTs + suppressions) the AST tier runs over, and
+	// attaches type information only if a typed analyzer actually runs.
+	mod, err := analysis.LoadModule(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	dirs, all, err := targetDirs(mod, flag.Args())
+	if err != nil {
+		fatal(err)
 	}
 
 	var findings []analysis.Finding
-	for _, dir := range dirs {
-		pkg, err := analysis.LoadGoPackage(filepath.Join(root, filepath.FromSlash(dir)), dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lint: %s: %v\n", dir, err)
-			os.Exit(2)
+	if hasFamily(selected, "go") {
+		for _, dir := range dirs {
+			pkg, ok := mod.Package(dir)
+			if !ok {
+				fatal(fmt.Errorf("not a package directory: %s", dir))
+			}
+			findings = append(findings, analysis.RunGo(selected, pkg.GoPackage)...)
 		}
-		findings = append(findings, analysis.RunGo(azs, pkg)...)
 	}
 
-	if *doCorpus {
+	if hasFamily(selected, "typed") {
+		// The typed tier always loads the whole module (reachability is a
+		// module-wide property); with explicit package args, findings are
+		// restricted to the requested directories afterwards.
+		typed := analysis.RunTyped(selected, mod)
+		if !all {
+			typed = inDirs(typed, dirs)
+		}
+		findings = append(findings, typed...)
+	}
+
+	if hasFamily(selected, "corpus") {
 		dev, err := loadCorpusDevelopment()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
-		findings = append(findings, analysis.RunCorpus(azs, dev)...)
+		findings = append(findings, analysis.RunCorpus(selected, dev)...)
+	}
+
+	basePath := *baseline
+	if basePath != "" && !filepath.IsAbs(basePath) {
+		basePath = filepath.Join(root, basePath)
+	}
+	if *writeBase {
+		if basePath == "" {
+			fatal(fmt.Errorf("-write-baseline requires -baseline"))
+		}
+		if err := analysis.NewBaseline(findings).Write(basePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "lint: baseline %s frozen with %d finding(s)\n", *baseline, len(findings))
+		return
+	}
+	if basePath != "" {
+		base, err := analysis.LoadBaseline(basePath)
+		if err != nil {
+			fatal(err)
+		}
+		if stale := base.Stale(findings); len(stale) > 0 && base.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "lint: %d stale baseline entr%s (fixed findings; tighten the ratchet by rerunning -write-baseline)\n",
+				len(stale), plural(len(stale), "y", "ies"))
+		}
+		findings = base.New(findings)
 	}
 
 	if *jsonOut {
@@ -97,8 +162,7 @@ func main() {
 			findings = []analysis.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "lint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 	} else {
 		for _, f := range findings {
@@ -111,6 +175,66 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lint:", err)
+	os.Exit(2)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// familySet parses the -family flag into a set; empty means every family.
+func familySet(arg string) (map[string]bool, error) {
+	out := map[string]bool{}
+	if strings.TrimSpace(arg) == "" {
+		for _, f := range analysis.Families {
+			out[f] = true
+		}
+		return out, nil
+	}
+	for _, f := range strings.Split(arg, ",") {
+		f = strings.TrimSpace(f)
+		known := false
+		for _, k := range analysis.Families {
+			if f == k {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown analyzer family %q (want go, typed, or corpus)", f)
+		}
+		out[f] = true
+	}
+	return out, nil
+}
+
+func hasFamily(azs []*analysis.Analyzer, family string) bool {
+	for _, a := range azs {
+		if a.Family() == family {
+			return true
+		}
+	}
+	return false
+}
+
+// inDirs keeps findings whose file lives under one of the dirs.
+func inDirs(fs []analysis.Finding, dirs []string) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range fs {
+		for _, dir := range dirs {
+			if strings.HasPrefix(f.File, dir+"/") || (dir == "." && !strings.Contains(f.File, "/")) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // loadCorpusDevelopment parses the embedded corpus into the analysis model.
@@ -153,60 +277,27 @@ func moduleRoot() (string, error) {
 
 // targetDirs resolves the package arguments to module-root-relative slash
 // paths of directories containing Go files. No args or "./..." means the
-// whole module.
-func targetDirs(root string, args []string) ([]string, error) {
-	all := len(args) == 0
+// whole module (all=true).
+func targetDirs(mod *analysis.Module, args []string) (dirs []string, all bool, err error) {
+	all = len(args) == 0
 	for _, a := range args {
 		if a == "./..." {
 			all = true
 		}
 	}
 	if all {
-		return walkGoDirs(root)
+		for _, p := range mod.Pkgs {
+			dirs = append(dirs, p.Dir)
+		}
+		return dirs, true, nil
 	}
-	var out []string
 	for _, a := range args {
 		rel := strings.TrimPrefix(filepath.ToSlash(filepath.Clean(a)), "./")
-		info, err := os.Stat(filepath.Join(root, filepath.FromSlash(rel)))
-		if err != nil || !info.IsDir() {
-			return nil, fmt.Errorf("not a package directory: %s", a)
+		if _, ok := mod.Package(rel); !ok {
+			return nil, false, fmt.Errorf("not a package directory: %s", a)
 		}
-		out = append(out, rel)
+		dirs = append(dirs, rel)
 	}
-	sort.Strings(out)
-	return out, nil
-}
-
-func walkGoDirs(root string) ([]string, error) {
-	seen := map[string]bool{}
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(d.Name(), ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, filepath.Dir(p))
-		if err != nil {
-			return err
-		}
-		seen[filepath.ToSlash(rel)] = true
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, 0, len(seen))
-	for dir := range seen {
-		out = append(out, dir)
-	}
-	sort.Strings(out)
-	return out, nil
+	sort.Strings(dirs)
+	return dirs, false, nil
 }

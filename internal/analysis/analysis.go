@@ -35,9 +35,12 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic produced by an analyzer.
+// Finding is one diagnostic produced by an analyzer. Family is the analyzer
+// family that produced it ("go", "typed", or "corpus"), stamped by the Run*
+// entry points so CI legs can split machine-readable output by tier.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
+	Family   string `json:"family,omitempty"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Message  string `json:"message"`
@@ -47,19 +50,36 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Analyzer, f.Message)
 }
 
-// Analyzer is one registered check. Exactly one of Go / Corpus is set,
-// determining which family the analyzer belongs to.
+// Analyzer is one registered check. Exactly one of Go / Typed / Corpus is
+// set, determining which family the analyzer belongs to.
 type Analyzer struct {
 	Name string
 	Doc  string
-	// Go runs over one parsed Go package.
+	// Go runs over one parsed Go package (AST only — cheap tier).
 	Go func(*GoPackage) []Finding
+	// Typed runs over the whole type-checked module (go/types tier).
+	Typed func(*Module) []Finding
 	// Corpus runs over the parsed vernacular development.
 	Corpus func(*Development) []Finding
 }
 
+// Family returns the analyzer's family name: "go", "typed", or "corpus".
+func (a *Analyzer) Family() string {
+	switch {
+	case a.Go != nil:
+		return "go"
+	case a.Typed != nil:
+		return "typed"
+	default:
+		return "corpus"
+	}
+}
+
+// Families lists the analyzer families in registry order.
+var Families = []string{"go", "typed", "corpus"}
+
 // All returns every registered analyzer in a fixed, deterministic order:
-// the Go family first, then the corpus family.
+// the Go family first, then the typed family, then the corpus family.
 func All() []*Analyzer {
 	return []*Analyzer{
 		analyzerDeterminism,
@@ -68,6 +88,10 @@ func All() []*Analyzer {
 		analyzerFaultpoint,
 		analyzerSearchMerge,
 		analyzerInternKernel,
+		analyzerHotPathAlloc,
+		analyzerKernelMutate,
+		analyzerAtomicMix,
+		analyzerErrDrop,
 		analyzerDeadLemma,
 		analyzerDupStmt,
 		analyzerIntrosHyps,
@@ -134,6 +158,26 @@ func RunGo(azs []*Analyzer, pkg *GoPackage) []Finding {
 	}
 	out = append(out, pkg.suppressionErrors...)
 	out = filterSuppressed(out, pkg.suppressions)
+	stampFamily(out, "go")
+	sortFindings(out)
+	return out
+}
+
+// RunTyped runs the typed-family analyzers among azs over a loaded module,
+// applies the (single-parse, per-file) line suppressions collected at load
+// time, and returns the surviving findings sorted by position. Malformed
+// suppression directives are the AST family's to report (RunGo), so running
+// both families over one module never reports them twice.
+func RunTyped(azs []*Analyzer, m *Module) []Finding {
+	var out []Finding
+	for _, a := range azs {
+		if a.Typed == nil {
+			continue
+		}
+		out = append(out, a.Typed(m)...)
+	}
+	out = filterSuppressed(out, m.suppressionsAll())
+	stampFamily(out, "typed")
 	sortFindings(out)
 	return out
 }
@@ -151,8 +195,15 @@ func RunCorpus(azs []*Analyzer, dev *Development) []Finding {
 	}
 	out = append(out, dev.suppressionErrors...)
 	out = filterSuppressed(out, dev.suppressions)
+	stampFamily(out, "corpus")
 	sortFindings(out)
 	return out
+}
+
+func stampFamily(fs []Finding, family string) {
+	for i := range fs {
+		fs[i].Family = family
+	}
 }
 
 func sortFindings(fs []Finding) {

@@ -1,0 +1,270 @@
+package analysis
+
+// atomicmix: mixed atomic/plain access and lock copying, resolved through
+// go/types. The repository's concurrency discipline (DESIGN.md §§7-10) keeps
+// shared counters strictly atomic and confines plain mutation to the merge
+// phase on one goroutine; a field that is atomic in one file and plain in
+// another is a data race the race detector only catches when a schedule
+// exhibits it. Two checks share the analyzer:
+//
+//   - a variable or struct field that is the &-argument of a sync/atomic
+//     call anywhere in the module, and is also read or written plainly
+//     anywhere else (object identity via *types.Var, so access through any
+//     alias or embedding spells is matched);
+//   - sync.Mutex / RWMutex / WaitGroup / Once / Cond / Map / Pool copied by
+//     value: value receivers or parameters of lock-containing types, and
+//     assignments that copy an existing lock-containing value.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var analyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "fields accessed both via sync/atomic and via plain loads/stores " +
+		"(object-identity match across the whole module), plus sync.Mutex/" +
+		"WaitGroup-style values copied by value (value receivers, value " +
+		"parameters, and assignments from existing values)",
+	Typed: runAtomicMix,
+}
+
+func runAtomicMix(m *Module) []Finding {
+	m.Check()
+	var out []Finding
+	atomicVars, exempt := collectAtomicUses(m)
+	if len(atomicVars) > 0 {
+		out = append(out, plainUsesOfAtomicVars(m, atomicVars, exempt)...)
+	}
+	out = append(out, lockCopies(m)...)
+	return out
+}
+
+// collectAtomicUses finds every variable passed by address to a sync/atomic
+// function, and the exact AST nodes of those accesses (exempt from the
+// plain-use pass).
+func collectAtomicUses(m *Module) (map[*types.Var]bool, map[ast.Node]bool) {
+	vars := map[*types.Var]bool{}
+	exempt := map[ast.Node]bool{}
+	for _, tp := range m.Pkgs {
+		if tp.Info == nil {
+			continue
+		}
+		info := tp.Info
+		for _, f := range tp.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(call, info) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := arg.(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					if v := refVar(u.X, info); v != nil {
+						vars[v] = true
+						exempt[u.X] = true
+						if sel, isSel := u.X.(*ast.SelectorExpr); isSel {
+							exempt[sel.Sel] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return vars, exempt
+}
+
+func isAtomicCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Only the package-level functions (atomic.LoadUint64(&x), ...) mark
+	// their operand as atomically accessed. Methods of the typed wrappers
+	// (atomic.Pointer.Store(&local), atomic.Bool.Load, ...) take ordinary
+	// values/pointers as arguments — the atomicity lives in the receiver.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// refVar resolves an addressable expression to the variable it denotes.
+func refVar(e ast.Expr, info *types.Info) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func plainUsesOfAtomicVars(m *Module, vars map[*types.Var]bool, exempt map[ast.Node]bool) []Finding {
+	var out []Finding
+	for _, tp := range m.Pkgs {
+		if tp.Info == nil {
+			continue
+		}
+		tp, info := tp, tp.Info
+		for _, f := range tp.Files {
+			if f.Test {
+				continue
+			}
+			f := f
+			// Sel idents of already-matched selectors would double-report;
+			// parents are visited before children, so mark as we go.
+			skip := map[ast.Node]bool{}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var v *types.Var
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if exempt[ast.Expr(e)] {
+						return true
+					}
+					v = refVar(e, info)
+					skip[e.Sel] = true
+				case *ast.Ident:
+					if exempt[ast.Expr(e)] || skip[e] {
+						return true
+					}
+					v, _ = info.Uses[e].(*types.Var)
+				default:
+					return true
+				}
+				if v == nil || !vars[v] {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: "atomicmix", File: f.Name, Line: tp.line(n),
+					Message: "variable " + v.Name() + " is updated with sync/atomic elsewhere " +
+						"but accessed plainly here; a torn or stale read races with the atomic " +
+						"writers — use the matching atomic load/store",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lock copying.
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// containsLock reports whether a value of type t embeds a sync lock by
+// value (directly, through struct fields, or through arrays).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockCopies(m *Module) []Finding {
+	var out []Finding
+	for _, tp := range m.Pkgs {
+		if tp.Info == nil {
+			continue
+		}
+		tp, info := tp, tp.Info
+		for _, f := range tp.Files {
+			if f.Test {
+				continue
+			}
+			f := f
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.FuncDecl:
+					out = append(out, lockValueParams(tp, f, info, e)...)
+				case *ast.AssignStmt:
+					if e.Tok != token.ASSIGN && e.Tok != token.DEFINE {
+						return true
+					}
+					for _, rhs := range e.Rhs {
+						switch rhs.(type) {
+						case *ast.Ident, *ast.SelectorExpr:
+						default:
+							continue // fresh values (literals, calls) are not copies of a live lock
+						}
+						t := info.Types[rhs].Type
+						if t == nil || !containsLock(t, map[types.Type]bool{}) {
+							continue
+						}
+						out = append(out, Finding{
+							Analyzer: "atomicmix", File: f.Name, Line: tp.line(rhs),
+							Message: "assignment copies a " + typeString(t) + " containing a sync lock " +
+								"by value; the copy and the original synchronize independently — keep a pointer",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func lockValueParams(tp *TypedPackage, f *GoFile, info *types.Info, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if !containsLock(t, map[types.Type]bool{}) {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "atomicmix", File: f.Name, Line: tp.line(field),
+				Message: what + " of type " + typeString(t) + " copies a sync lock by value " +
+					"on every call; take a pointer",
+			})
+		}
+	}
+	check(fd.Recv, "value receiver")
+	check(fd.Type.Params, "value parameter")
+	return out
+}

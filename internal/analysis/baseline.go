@@ -1,0 +1,143 @@
+package analysis
+
+// Baseline ratchet. hotpathalloc (by design) fires on known-acceptable
+// sites: the corpus of accepted findings is frozen in a baseline file, any
+// finding NOT in the baseline fails the lint run, and deleting entries as
+// hot-path allocations are eliminated is the visible progress metric for
+// the allocation-free-loop roadmap item (the ratchet only tightens).
+//
+// Matching is deliberately line-insensitive: a baseline entry matches by
+// (analyzer, file, message), with multiset semantics — N entries under one
+// key absorb at most N findings — so unrelated edits that shift line
+// numbers do not invalidate the baseline, while a genuinely new instance of
+// an already-baselined message still fails. Line numbers are stored anyway,
+// as documentation of where the finding sat when frozen.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a frozen set of accepted findings.
+type Baseline struct {
+	// Entries are the accepted findings, sorted.
+	Entries []Finding `json:"findings"`
+}
+
+type baselineFile struct {
+	Version int       `json:"version"`
+	Entries []Finding `json:"findings"`
+}
+
+const baselineVersion = 1
+
+func baselineKey(f Finding) string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// NewBaseline freezes the given findings.
+func NewBaseline(fs []Finding) *Baseline {
+	entries := append([]Finding(nil), fs...)
+	sortFindings(entries)
+	return &Baseline{Entries: entries}
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline (no accepted findings), not an error: a repository without a
+// baseline simply has a fully tightened ratchet.
+func LoadBaseline(path string) (*Baseline, error) {
+	src, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(src, &bf); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s: unsupported version %d", path, bf.Version)
+	}
+	return &Baseline{Entries: bf.Entries}, nil
+}
+
+// Write writes the baseline to path, deterministically formatted.
+func (b *Baseline) Write(path string) error {
+	entries := append([]Finding(nil), b.Entries...)
+	sortFindings(entries)
+	out, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// New returns the findings not absorbed by the baseline: each baseline
+// entry absorbs at most one finding with the same (analyzer, file, message)
+// key, line numbers ignored. The result preserves input order.
+func (b *Baseline) New(fs []Finding) []Finding {
+	if len(b.Entries) == 0 {
+		return fs
+	}
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey(e)]++
+	}
+	var out []Finding
+	for _, f := range fs {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Stale returns baseline entries that no current finding matches: fixed
+// sites whose entries should be deleted to tighten the ratchet. Sorted.
+func (b *Baseline) Stale(fs []Finding) []Finding {
+	live := map[string]int{}
+	for _, f := range fs {
+		live[baselineKey(f)]++
+	}
+	var out []Finding
+	for _, e := range b.Entries {
+		k := baselineKey(e)
+		if live[k] > 0 {
+			live[k]--
+			continue
+		}
+		out = append(out, e)
+	}
+	sortFindings(out)
+	return out
+}
+
+// Len returns the number of frozen findings.
+func (b *Baseline) Len() int { return len(b.Entries) }
+
+// ByAnalyzer returns entry counts per analyzer, for reporting.
+func (b *Baseline) ByAnalyzer() map[string]int {
+	out := map[string]int{}
+	for _, e := range b.Entries {
+		out[e.Analyzer]++
+	}
+	return out
+}
+
+// AnalyzersIn returns the sorted analyzer names with baseline entries.
+func (b *Baseline) AnalyzersIn() []string {
+	byA := b.ByAnalyzer()
+	out := make([]string, 0, len(byA))
+	for name := range byA {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

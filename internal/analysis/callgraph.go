@@ -1,0 +1,336 @@
+package analysis
+
+// Module-wide call graph over type-checked packages, for hot-path
+// reachability. The graph is deliberately conservative (edges may
+// over-approximate, never under-approximate, what can run):
+//
+//   - static calls: an edge to the called *types.Func, for plain function
+//     calls, qualified calls, and method calls on concrete receivers;
+//   - interface dispatch: a call through an interface method adds edges to
+//     that method on every module type whose method set implements the
+//     interface;
+//   - escape-to-interface: passing (or converting) a concrete module value
+//     to an interface makes the value's whole method set reachable — this is
+//     how heap.Push reaches nodeHeap.Less even though the dispatching call
+//     site lives in the standard library;
+//   - function values: referencing a module function without calling it
+//     (address taken, passed as a callback) adds an edge, since the callee
+//     can run wherever the value flows;
+//   - func literals are attributed to their enclosing declaration: a worker
+//     goroutine spawned inside a hot function is hot.
+//
+// Roots are the //hot:root-annotated declarations (Module.HotRoots).
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncInfo ties a module function to its declaration site.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *TypedPackage
+	File *GoFile
+}
+
+// CallGraph is the module call graph. Nodes are the module's own declared
+// functions and methods (bodies in non-test files); callees outside the
+// module are not represented.
+type CallGraph struct {
+	m *Module
+	// Funcs indexes every module function with a body.
+	Funcs map[*types.Func]*FuncInfo
+	edges map[*types.Func]map[*types.Func]bool
+}
+
+// CallGraph builds (once) and returns the module call graph. The module is
+// type-checked on demand.
+func (m *Module) CallGraph() *CallGraph {
+	m.graphOnce.Do(func() {
+		m.Check()
+		m.graph = buildCallGraph(m)
+	})
+	return m.graph
+}
+
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		m:     m,
+		Funcs: map[*types.Func]*FuncInfo{},
+		edges: map[*types.Func]map[*types.Func]bool{},
+	}
+	// Pass 1: every declared function/method with a body.
+	for _, tp := range m.Pkgs {
+		if tp.Info == nil {
+			continue
+		}
+		for _, f := range tp.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := tp.Info.Defs[fd.Name].(*types.Func); ok {
+					g.Funcs[fn] = &FuncInfo{Fn: fn, Decl: fd, Pkg: tp, File: f}
+				}
+			}
+		}
+	}
+	// Pass 2: the concrete-type method index for interface dispatch.
+	idx := buildMethodIndex(m, g)
+	// Pass 3: edges.
+	for fn, fi := range g.Funcs {
+		g.addBodyEdges(fn, fi, idx)
+	}
+	return g
+}
+
+// methodIndex supports interface-related edges.
+type methodIndex struct {
+	// named lists every non-interface named type declared in the module.
+	named []*types.Named
+	// methods maps a named type to its module-declared method set (through
+	// the pointer method set, so value and pointer receivers both appear).
+	methods map[*types.Named][]*types.Func
+}
+
+func buildMethodIndex(m *Module, g *CallGraph) *methodIndex {
+	idx := &methodIndex{methods: map[*types.Named][]*types.Func{}}
+	for _, tp := range m.Pkgs {
+		if tp.Types == nil {
+			continue
+		}
+		scope := tp.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.named = append(idx.named, named)
+			mset := types.NewMethodSet(types.NewPointer(named))
+			var fns []*types.Func
+			for i := 0; i < mset.Len(); i++ {
+				if fn, ok := mset.At(i).Obj().(*types.Func); ok {
+					if _, inModule := g.Funcs[fn]; inModule {
+						fns = append(fns, fn)
+					}
+				}
+			}
+			idx.methods[named] = fns
+		}
+	}
+	sort.Slice(idx.named, func(i, j int) bool {
+		return idx.named[i].Obj().Pos() < idx.named[j].Obj().Pos()
+	})
+	return idx
+}
+
+// implementers returns the module methods named name on module types whose
+// method set satisfies iface.
+func (idx *methodIndex) implementers(iface *types.Interface, name string) []*types.Func {
+	var out []*types.Func
+	for _, named := range idx.named {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		for _, fn := range idx.methods[named] {
+			if fn.Name() == name {
+				//lint:ignore maporder idx.methods[named] is a slice in deterministic method-set order; the range is not over the map
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// escapeMethods returns the module method set of a concrete type that is
+// being converted to an interface.
+func (idx *methodIndex) escapeMethods(t types.Type) []*types.Func {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return idx.methods[named]
+}
+
+func (g *CallGraph) addEdge(from, to *types.Func) {
+	if to == nil {
+		return
+	}
+	if _, inModule := g.Funcs[to]; !inModule {
+		return
+	}
+	set := g.edges[from]
+	if set == nil {
+		set = map[*types.Func]bool{}
+		g.edges[from] = set
+	}
+	set[to] = true
+}
+
+func (g *CallGraph) addBodyEdges(fn *types.Func, fi *FuncInfo, idx *methodIndex) {
+	info := fi.Pkg.Info
+	// callFuns marks expressions used as the Fun of a call, so a bare
+	// function reference (address taken) is distinguishable from the call
+	// itself.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callFuns[call.Fun] = true
+		g.addCallEdges(fn, call, info, idx)
+		return true
+	})
+	// Bare references to module functions (callbacks, goroutine targets
+	// passed as values): the callee can run wherever the value flows.
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		var obj types.Object
+		switch e := n.(type) {
+		case *ast.Ident:
+			if callFuns[ast.Expr(e)] {
+				return true
+			}
+			obj = info.Uses[e]
+		case *ast.SelectorExpr:
+			if callFuns[ast.Expr(e)] {
+				return true
+			}
+			obj = info.Uses[e.Sel]
+		default:
+			return true
+		}
+		if callee, ok := obj.(*types.Func); ok {
+			g.addEdge(fn, callee)
+		}
+		return true
+	})
+}
+
+func (g *CallGraph) addCallEdges(fn *types.Func, call *ast.CallExpr, info *types.Info, idx *methodIndex) {
+	// Escape-to-interface at call arguments: a concrete module value handed
+	// to an interface parameter can have any of its methods invoked by the
+	// callee (stdlib included), so its method set becomes reachable.
+	if sig := callSignature(call, info); sig != nil {
+		for i, arg := range call.Args {
+			pt := paramTypeAt(sig, i)
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			at := info.Types[arg].Type
+			if at == nil || types.IsInterface(at) {
+				continue
+			}
+			for _, mfn := range idx.escapeMethods(at) {
+				g.addEdge(fn, mfn)
+			}
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if callee, ok := info.Uses[fun].(*types.Func); ok {
+			g.addEdge(fn, callee)
+		}
+	case *ast.SelectorExpr:
+		sel, hasSel := info.Selections[fun]
+		if !hasSel {
+			// Qualified identifier pkg.F.
+			if callee, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				g.addEdge(fn, callee)
+			}
+			return
+		}
+		if sel.Kind() != types.MethodVal {
+			return
+		}
+		callee, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		if iface, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+			for _, impl := range idx.implementers(iface, callee.Name()) {
+				g.addEdge(fn, impl)
+			}
+			return
+		}
+		g.addEdge(fn, callee)
+	}
+}
+
+// callSignature resolves the signature of a call's callee, nil for type
+// conversions and unresolvable dynamic calls.
+func callSignature(call *ast.CallExpr, info *types.Info) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the static type of parameter i, handling variadics.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// Reachable returns the set of module functions reachable from roots
+// (roots included, when they are module functions).
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var stack []*types.Func
+	for _, r := range roots {
+		if _, ok := g.Funcs[r]; ok && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range g.edges[cur] {
+			if !seen[to] {
+				seen[to] = true
+				//lint:ignore maporder the result is the seen set; traversal order cannot change membership
+				stack = append(stack, to)
+			}
+		}
+	}
+	return seen
+}
+
+// HotSet returns the functions reachable from the module's //hot:root
+// annotations.
+func (g *CallGraph) HotSet() map[*types.Func]bool {
+	return g.Reachable(g.m.HotRoots())
+}

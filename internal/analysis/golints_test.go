@@ -355,8 +355,18 @@ func TestSelect(t *testing.T) {
 		t.Fatal("unknown analyzer accepted")
 	}
 	for _, a := range All() {
-		if (a.Go == nil) == (a.Corpus == nil) {
-			t.Errorf("analyzer %s must set exactly one of Go/Corpus", a.Name)
+		set := 0
+		if a.Go != nil {
+			set++
+		}
+		if a.Typed != nil {
+			set++
+		}
+		if a.Corpus != nil {
+			set++
+		}
+		if set != 1 {
+			t.Errorf("analyzer %s must set exactly one of Go/Typed/Corpus", a.Name)
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no Doc", a.Name)

@@ -1,0 +1,229 @@
+package analysis
+
+// hotpathalloc: allocation-introducing constructs in functions reachable
+// from a //hot:root annotation. The ROADMAP's next perf frontier is an
+// allocation-free search inner loop; this analyzer is the ratchet for it.
+// Known-acceptable sites live in lint_baseline.json (cmd/lint -baseline):
+// any *new* hot-path allocation fails CI, and shrinking the baseline is the
+// visible progress metric.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var analyzerHotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "allocation-introducing constructs (unsized append growth, map/slice " +
+		"literals, capturing closures, interface boxing, string concatenation, fmt " +
+		"calls) in any function reachable from a //hot:root annotation — the " +
+		"search/expand/unify/subst/eval inner loop; known-acceptable sites are " +
+		"frozen in lint_baseline.json and new findings fail CI",
+	Typed: runHotPathAlloc,
+}
+
+func runHotPathAlloc(m *Module) []Finding {
+	g := m.CallGraph()
+	hot := g.HotSet()
+	// g.Funcs is a map; findings must come out in source order or the lint
+	// output (and the frozen baseline) would differ run to run.
+	fis := make([]*FuncInfo, 0, len(g.Funcs))
+	for fn, fi := range g.Funcs {
+		if hot[fn] {
+			fis = append(fis, fi)
+		}
+	}
+	sort.Slice(fis, func(i, j int) bool { return fis[i].Fn.Pos() < fis[j].Fn.Pos() })
+	var out []Finding
+	for _, fi := range fis {
+		out = append(out, hotAllocInFunc(fi)...)
+	}
+	return out
+}
+
+// funcLabel names a function for finding messages: "BestFirst",
+// "expander.expand". Part of the baseline key, so it must not depend on
+// line numbers.
+func funcLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := types.Unalias(t).(*types.Named); isNamed {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func hotAllocInFunc(fi *FuncInfo) []Finding {
+	info := fi.Pkg.Info
+	label := funcLabel(fi.Fn)
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Finding{
+			Analyzer: "hotpathalloc", File: fi.File.Name, Line: fi.Pkg.line(n),
+			Message: "hot path (" + label + "): " + msg,
+		})
+	}
+	unsized := unsizedSliceVars(fi.Decl.Body, info)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			hotAllocCall(fi, e, unsized, flag)
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringType(info.Types[e].Type) {
+				flag(e, "string concatenation allocates per +; build into a reused buffer or precompute")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringType(info.Types[e.Lhs[0]].Type) {
+				flag(e, "string concatenation allocates per +; build into a reused buffer or precompute")
+			}
+		case *ast.CompositeLit:
+			lt := info.Types[e].Type
+			if lt == nil {
+				break
+			}
+			switch lt.Underlying().(type) {
+			case *types.Map:
+				flag(e, "map literal allocates ("+typeString(lt)+"); hoist or reuse a cleared map")
+			case *types.Slice:
+				flag(e, "slice literal allocates ("+typeString(lt)+"); hoist or reuse scratch")
+			}
+		case *ast.FuncLit:
+			if caps := capturedVars(e, info); len(caps) > 0 {
+				flag(e, "closure captures "+strings.Join(caps, ", ")+"; the closure and its captures may escape to the heap")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func hotAllocCall(fi *FuncInfo, call *ast.CallExpr, unsized map[*types.Var]bool, flag func(ast.Node, string)) {
+	info := fi.Pkg.Info
+	// append to a slice declared without capacity: every growth step
+	// reallocates and copies.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(call.Args) > 0 {
+			if base, ok := call.Args[0].(*ast.Ident); ok {
+				if v, isVar := info.Uses[base].(*types.Var); isVar && unsized[v] {
+					flag(call, "unsized append to "+base.Name+" grows without preallocation; size the make from a known bound")
+				}
+			}
+		}
+	}
+	// fmt on the hot path: formatting walks reflection and boxes every
+	// argument.
+	isFmt := false
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if callee, ok := info.Uses[sel.Sel].(*types.Func); ok && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+			isFmt = true
+			flag(call, "fmt."+callee.Name()+" allocates (formatting + boxing); render outside the hot loop or precompute")
+		}
+	}
+	// Interface boxing at call arguments: a concrete non-pointer value
+	// assigned to an interface parameter allocates. fmt calls are already
+	// flagged wholesale; constants are left to the compiler.
+	if isFmt {
+		return
+	}
+	sig := callSignature(call, info)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value != nil || tv.IsNil() || tv.Type == nil {
+			continue
+		}
+		at := tv.Type
+		if types.IsInterface(at) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		flag(arg, "interface boxing: "+typeString(at)+" value passed as "+typeString(pt)+" allocates; pass a pointer or keep the call monomorphic")
+	}
+}
+
+// unsizedSliceVars collects local slice variables declared with `var x []T`
+// (no initializer, no capacity): appends to them grow geometrically from
+// nil.
+func unsizedSliceVars(body *ast.BlockStmt, info *types.Info) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+						out[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVars returns the sorted names of variables a func literal captures
+// from its enclosing function (package-level variables and fields are not
+// captures).
+func capturedVars(lit *ast.FuncLit, info *types.Info) []string {
+	seen := map[*types.Var]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Declared inside the literal (params, locals): not a capture.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		// Package-level variables are not captured by reference.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

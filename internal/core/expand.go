@@ -85,6 +85,8 @@ func (e *expansion) finish(i int, step checker.Step) {
 // expand copies the candidates, resolves what the shared cache already
 // knows, and — under the batched or parallel strategies — executes the
 // rest eagerly. Serial consumers get a lazy expansion.
+//
+//hot:root
 func (x *expander) expand(parent *tactic.State, path []string, cands []model.Candidate) *expansion {
 	e := &expansion{
 		x:      x,

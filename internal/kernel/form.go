@@ -131,6 +131,8 @@ func (f *Form) AlphaEqual(g *Form) bool {
 
 // SubstTerm substitutes free term variables in the formula, capture-avoiding:
 // quantifiers whose binder would capture a substituted variable are renamed.
+//
+//hot:root
 func (f *Form) SubstTerm(s Subst) *Form {
 	if f == nil || len(s) == 0 {
 		return f

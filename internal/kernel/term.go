@@ -259,6 +259,8 @@ func (s Subst) Clone() Subst {
 
 // ApplySubst substitutes variables in t by s, capture-avoiding with respect
 // to match-pattern binders.
+//
+//hot:root
 func (t *Term) ApplySubst(s Subst) *Term {
 	if t == nil || len(s) == 0 {
 		return t

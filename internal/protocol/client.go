@@ -53,24 +53,31 @@ func NewClient(conn net.Conn) *Client {
 // reported alongside the close error, not swallowed: the caller learns the
 // session ended without the server's cooperation.
 func (c *Client) Close() error {
-	c.deadline()
+	derr := c.deadline()
 	werr := WriteMsg(c.conn, sexp.L(sexp.Sym("Quit")))
 	if werr != nil {
 		werr = fmt.Errorf("protocol: quit: %w", werr)
 	}
-	return errors.Join(werr, c.conn.Close())
+	return errors.Join(derr, werr, c.conn.Close())
 }
 
-// deadline arms the per-round-trip deadline when configured.
-func (c *Client) deadline() {
+// deadline arms the per-round-trip deadline when configured. A failed
+// SetDeadline would silently void the Timeout policy — the next read could
+// block forever — so the error propagates and the round trip aborts.
+func (c *Client) deadline() error {
 	if c.Timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return fmt.Errorf("protocol: arm deadline: %w", err)
+		}
 	}
+	return nil
 }
 
 // roundTrip sends a request and returns the answer payload.
 func (c *Client) roundTrip(req *sexp.Node) (*sexp.Node, error) {
-	c.deadline()
+	if err := c.deadline(); err != nil {
+		return nil, err
+	}
 	if err := WriteMsg(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -127,7 +134,12 @@ func execPayload(p *sexp.Node) (ExecResult, error) {
 		res.Fingerprint = fpOf(p)
 		return res, nil
 	case "Applied":
-		n, _ := p.Nth(1).Nth(1).AsInt()
+		// The server always encodes (Applied (Goals n) ...); a missing or
+		// non-numeric count is a wire fault, not an empty goal set.
+		n, err := p.Nth(1).Nth(1).AsInt()
+		if err != nil {
+			return ExecResult{}, fmt.Errorf("protocol: malformed Applied payload %s: %w", p, err)
+		}
 		res := ExecResult{Status: checker.Applied, NumGoals: n}
 		res.Fingerprint = fpOf(p)
 		return res, nil

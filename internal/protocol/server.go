@@ -82,6 +82,7 @@ func (s *Server) Serve() error {
 			return err
 		}
 		if !s.track(conn) { // shut down between Accept and track
+			//lint:ignore errdrop teardown of a never-tracked connection during shutdown; nothing to report to
 			conn.Close()
 			<-sem
 			return nil
@@ -152,6 +153,7 @@ func (s *Server) Close() error {
 func (s *Server) Shutdown(grace time.Duration) error {
 	err := s.Close()
 	deadline := time.Now().Add(grace)
+	//lint:ignore errdrop best-effort unblocking during grace drain; the force-close below is the backstop
 	s.eachConn(func(c net.Conn) { _ = c.SetReadDeadline(deadline) })
 
 	done := make(chan struct{})
@@ -162,6 +164,7 @@ func (s *Server) Shutdown(grace time.Duration) error {
 	select {
 	case <-done:
 	case <-time.After(grace + 250*time.Millisecond):
+		//lint:ignore errdrop force-close of sessions that outlived the grace period; their handlers are being abandoned
 		s.eachConn(func(c net.Conn) { _ = c.Close() })
 		<-done
 	}

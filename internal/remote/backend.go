@@ -222,6 +222,7 @@ func (d *wireDoc) Close() error {
 // Callers hold d.mu or have exclusive access.
 func (d *wireDoc) connect() error {
 	if d.cl != nil {
+		//lint:ignore errdrop discarding a session already judged broken; the reconnect result is what matters
 		_ = d.cl.Close()
 		d.cl = nil
 	}
@@ -230,6 +231,7 @@ func (d *wireDoc) connect() error {
 		return err
 	}
 	if _, err := cl.NewDocLemma(d.lemma); err != nil {
+		//lint:ignore errdrop teardown after a failed open; the NewDocLemma error is the one reported
 		_ = cl.Close()
 		return err
 	}
@@ -330,6 +332,7 @@ func (d *wireDoc) ladder(checks int64, step func() error) {
 	// Retries exhausted: degrade this document to local-only execution.
 	d.be.breaker.Failure()
 	if d.cl != nil {
+		//lint:ignore errdrop degrade path abandons the wire session; local execution takes over regardless
 		_ = d.cl.Close()
 		d.cl = nil
 	}

@@ -45,11 +45,14 @@ func (c *FaultConn) Read(p []byte) (int, error) {
 
 func (c *FaultConn) Write(p []byte) (int, error) {
 	if c.Inj.Fire(faultpoint.DropConn) {
+		//lint:ignore errdrop deliberate fault injection; the injected error replaces the real one
 		_ = c.Conn.Close()
 		return 0, errors.Join(ErrInjected, net.ErrClosed)
 	}
 	if c.Inj.Fire(faultpoint.PartialWrite) {
+		//lint:ignore errdrop deliberate fault injection: a torn write must look torn, not failed
 		n, _ := c.Conn.Write(p[:len(p)/2])
+		//lint:ignore errdrop deliberate fault injection; the injected error replaces the real one
 		_ = c.Conn.Close()
 		return n, errors.Join(ErrInjected, net.ErrClosed)
 	}

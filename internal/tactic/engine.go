@@ -105,7 +105,9 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		if err != nil {
 			return nil, err
 		}
-		var out []*Goal
+		// Most tactics keep or shrink the goal count, so len(firsts) is the
+		// common final size.
+		out := make([]*Goal, 0, len(firsts))
 		for _, sub := range firsts {
 			next, err := applyExpr(env, sub, t.Then)
 			if err != nil {
@@ -122,7 +124,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		if len(firsts) != len(t.Branches) {
 			return nil, fmt.Errorf("tactic: dispatch expects %d goals, got %d", len(t.Branches), len(firsts))
 		}
-		var out []*Goal
+		out := make([]*Goal, 0, len(firsts))
 		for i, sub := range firsts {
 			if t.Branches[i] == nil {
 				out = append(out, sub)
@@ -150,7 +152,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		cur := []*Goal{g}
 		for i := 0; i < maxRepeat; i++ {
 			progressed := false
-			var next []*Goal
+			next := make([]*Goal, 0, len(cur))
 			for _, sub := range cur {
 				res, err := applyExpr(env, sub, t.T)
 				if err != nil {

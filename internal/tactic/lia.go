@@ -340,7 +340,10 @@ func fmUnsat(cs []linConstraint) bool {
 	}
 	sort.Ints(order)
 	for _, v := range order {
-		var pos, neg, rest []linConstraint
+		// The three buckets partition sys exactly, so len(sys) bounds each.
+		pos := make([]linConstraint, 0, len(sys))
+		neg := make([]linConstraint, 0, len(sys))
+		rest := make([]linConstraint, 0, len(sys))
 		for _, c := range sys {
 			switch {
 			case c.coef[v] > 0:

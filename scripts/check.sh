@@ -42,6 +42,12 @@ go test -race -run 'TestBackendEquivalence$' ./internal/eval
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
+# The typed tier alone, pinned against the ratchet baseline: any hot-path
+# allocation, kernel mutation, atomic/plain mix, or dropped error that is
+# not already frozen in lint_baseline.json fails the gate.
+echo "==> go run ./cmd/lint -family typed -baseline lint_baseline.json ./..."
+go run ./cmd/lint -family typed -baseline lint_baseline.json ./...
+
 # Backend equivalence at full scale: the complete experiment sweep must
 # print byte-identical tables through the in-process backend, the remote
 # wire backend on a clean network, and the remote backend under an enabled
