@@ -10,7 +10,9 @@
 //	(Cancel 0)
 //	(Quit)
 //
-// SIGINT/SIGTERM drain open sessions for -grace before force-closing them.
+// SIGINT/SIGTERM drain open sessions for -grace before force-closing them;
+// a second signal skips the drain and kills every session on the spot (the
+// escape hatch when a stuck client is what prompted the shutdown).
 package main
 
 import (
@@ -52,9 +54,19 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "checkerd: %v, draining sessions (up to %v)\n", sig, *grace)
-		if err := srv.Shutdown(*grace); err != nil {
-			log.Fatalf("shutdown: %v", err)
+		fmt.Fprintf(os.Stderr, "checkerd: %v, draining sessions (up to %v; signal again to kill)\n", sig, *grace)
+		shutdownDone := make(chan error, 1)
+		go func() { shutdownDone <- srv.Shutdown(*grace) }()
+		select {
+		case sig = <-sigc:
+			fmt.Fprintf(os.Stderr, "checkerd: second %v, killing open sessions\n", sig)
+			if err := srv.Kill(); err != nil {
+				log.Fatalf("kill: %v", err)
+			}
+		case err := <-shutdownDone:
+			if err != nil {
+				log.Fatalf("shutdown: %v", err)
+			}
 		}
 		if err := <-done; err != nil {
 			log.Fatalf("serve: %v", err)

@@ -77,6 +77,17 @@ func TestSearchModeEquivalence(t *testing.T) {
 	env, c := loadEnv(t)
 	be := startBatchedBackend(t)
 
+	// A 4-member fleet for the distributed leg: cases round-robin across
+	// the members, standing in for the sweep coordinator's unit routing
+	// (core cannot import internal/sweep — eval sits between them — but the
+	// property that matters lives here: ANY worker backend yields the
+	// serial Result).
+	fleet := make([]*remote.Backend, 4)
+	for i := range fleet {
+		fleet[i] = startBatchedBackend(t)
+	}
+	caseIdx := 0
+
 	// One cache shared across every case and both cached modes: later
 	// cases hit entries warmed by earlier ones, so the equivalence
 	// assertion also covers warm-cache reuse across searches.
@@ -108,6 +119,8 @@ func TestSearchModeEquivalence(t *testing.T) {
 					QueryLimit: 16,
 				}
 				want := alg.search(base)
+				member := fleet[caseIdx%len(fleet)]
+				caseIdx++
 				modes := []struct {
 					name      string
 					internOff bool
@@ -117,6 +130,7 @@ func TestSearchModeEquivalence(t *testing.T) {
 					{"cached", false, func(c *Config) { c.Cache = shared }},
 					{"parallel+cached", false, func(c *Config) { c.Parallelism = 2; c.Cache = shared }},
 					{"remote-batched", false, func(c *Config) { c.Backend = be }},
+					{"distributed(N=4)", false, func(c *Config) { c.Parallelism = 2; c.Backend = member }},
 					// Interning only changes pointer coincidences, never results:
 					// the cached leg stays shared so intern-off searches must also
 					// reuse (and produce) the same 128-bit-keyed entries.
@@ -147,6 +161,11 @@ func TestSearchModeEquivalence(t *testing.T) {
 	// vacuous for them unless batched cross-checks actually happened.
 	if be.Stats.WireChecks.Load() == 0 || be.Stats.Mismatches.Load() != 0 {
 		t.Fatalf("remote leg: %s", be.Stats.Snapshot())
+	}
+	for i, m := range fleet {
+		if m.Stats.WireChecks.Load() == 0 || m.Stats.Mismatches.Load() != 0 {
+			t.Fatalf("distributed leg, member %d: %s", i, m.Stats.Snapshot())
+		}
 	}
 	var _ checker.Backend = be // the remote leg really went through the Backend interface
 }

@@ -23,18 +23,11 @@ type GridJob struct {
 // outcome: results land at fixed (job, theorem) coordinates and are
 // byte-identical across Parallelism settings.
 func (r *Runner) RunGrid(jobs []GridJob) [][]Outcome {
-	out := make([][]Outcome, len(jobs))
-	type unit struct{ job, th int }
-	var units []unit
-	for i := range jobs {
-		out[i] = make([]Outcome, len(jobs[i].Theorems))
-		for t := range jobs[i].Theorems {
-			units = append(units, unit{job: i, th: t})
-		}
-	}
-	run := func(u unit) {
-		j := jobs[u.job]
-		out[u.job][u.th] = r.RunTheorem(j.Profile, j.Setting, j.Theorems[u.th])
+	out := GridShape(jobs)
+	units := Units(jobs)
+	run := func(u GridUnit) {
+		j := jobs[u.Job]
+		out[u.Job][u.Th] = r.RunTheorem(j.Profile, j.Setting, j.Theorems[u.Th])
 	}
 	par := r.Parallelism
 	if par > len(units) {

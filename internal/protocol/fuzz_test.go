@@ -26,6 +26,8 @@ func FuzzReadMsg(f *testing.F) {
 	f.Add("\"unterminated\n")
 	f.Add(strings.Repeat("(", 4096))
 	f.Add("(Answer 1 (Applied (Goals 2) (Fp \"abc\")))\n")
+	f.Add("(Ping)\n")
+	f.Add("(Answer 3 (Pong))\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		const limit = 1 << 12 // small limit so fuzzing reaches the drain path
 		r := bufio.NewReaderSize(strings.NewReader(data), 64)
@@ -91,6 +93,8 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add("(Query Fingerprint)")
 	f.Add("(Query Script)")
 	f.Add("(Query Frob)")
+	f.Add("(Ping)")
+	f.Add("(Ping extra args)")
 	f.Add("(Quit)")
 	f.Add("(Frobnicate (Deeply (Nested)))")
 	f.Add("17")

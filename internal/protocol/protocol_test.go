@@ -223,3 +223,36 @@ func TestProtocolAddQueue(t *testing.T) {
 		t.Fatalf("queued proof did not complete: %+v", res)
 	}
 }
+
+// Ping is the coordinator's liveness probe: state-free, answered from any
+// session phase, and dead the instant the server is killed.
+func TestPingAndKill(t *testing.T) {
+	srv, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Ping must not disturb an open document.
+	if _, err := cl.NewDocLemma("app_nil_r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec("induction l.")
+	if err != nil || res.Status != checker.Applied {
+		t.Fatalf("exec after ping: %v %v", res, err)
+	}
+
+	if err := srv.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping succeeded against a killed server")
+	}
+	_ = srv.Kill() // idempotent
+}

@@ -134,16 +134,31 @@ func (s *Server) eachConn(f func(net.Conn)) {
 }
 
 // Close stops the listener immediately. Open sessions keep running; use
-// Shutdown to drain them.
+// Shutdown to drain them. Idempotent: later calls (including via Kill after
+// a Shutdown) are no-ops.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	ln := s.ln
 	s.mu.Unlock()
-	if ln != nil {
+	if ln != nil && !wasClosed {
 		return ln.Close()
 	}
 	return nil
+}
+
+// Kill terminates the server abruptly: the listener and every open session
+// connection close immediately, with no drain and no in-flight answers —
+// the in-process analogue of SIGKILL-ing a checkerd worker, used by the
+// distributed-sweep chaos tests and the fleet's worker-kill fault site.
+// Clients observe a reset mid-request, exactly as they would from a dead
+// process.
+func (s *Server) Kill() error {
+	err := s.Close()
+	//lint:ignore errdrop abrupt termination is the point; the sessions being killed have nothing to report
+	s.eachConn(func(c net.Conn) { _ = c.Close() })
+	return err
 }
 
 // Shutdown stops accepting and drains open sessions: every session may
@@ -242,6 +257,11 @@ func (s *session) dispatch(msg *sexp.Node) (payload *sexp.Node, quit bool) {
 	switch msg.Head() {
 	case "Quit":
 		return sexp.L(sexp.Sym("Bye")), true
+	case "Ping":
+		// Liveness probe: no document state is read or written, so a
+		// coordinator can probe a quarantined worker without disturbing a
+		// session it might share.
+		return sexp.L(sexp.Sym("Pong")), false
 	case "NewDoc":
 		return s.newDoc(msg.Nth(1)), false
 	case "Add":

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The straggler helpers are pure functions of (flights, now, threshold,
+// self), so re-dispatch policy is tested on a fake clock: no goroutines, no
+// sleeps, no flaky timing.
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func fl(idx int, start time.Time, owner, dups int) *flight {
+	return &flight{idx: idx, start: start, owner: owner, dups: dups}
+}
+
+func TestPickStraggler(t *testing.T) {
+	const th = 2 * time.Second
+	now := t0.Add(10 * time.Second)
+	cases := []struct {
+		name    string
+		flights []*flight
+		self    int
+		want    int // unit index, -1 for nil
+	}{
+		{"empty", nil, 1, -1},
+		{"too young", []*flight{fl(0, now.Add(-th/2), 0, 0)}, 1, -1},
+		{"exactly at threshold", []*flight{fl(0, now.Add(-th), 0, 0)}, 1, 0},
+		{"own flight skipped", []*flight{fl(0, now.Add(-3*th), 1, 0)}, 1, -1},
+		{"already duplicated skipped", []*flight{fl(0, now.Add(-3*th), 0, 1)}, 1, -1},
+		{"oldest wins", []*flight{
+			fl(0, now.Add(-th), 0, 0),
+			fl(1, now.Add(-3*th), 0, 0),
+			fl(2, now.Add(-2*th), 0, 0),
+		}, 1, 1},
+		{"age tie breaks to lowest index", []*flight{
+			fl(7, now.Add(-th), 0, 0),
+			fl(3, now.Add(-th), 0, 0),
+		}, 1, 3},
+		{"mixed eligibility", []*flight{
+			fl(0, now.Add(-5*th), 1, 0), // own
+			fl(1, now.Add(-4*th), 0, 1), // duplicated
+			fl(2, now.Add(-3*th), 2, 0), // eligible, oldest of the rest
+			fl(3, now.Add(-2*th), 0, 0),
+		}, 1, 2},
+	}
+	for _, c := range cases {
+		got := pickStraggler(c.flights, now, th, c.self)
+		idx := -1
+		if got != nil {
+			idx = got.idx
+		}
+		if idx != c.want {
+			t.Errorf("%s: picked %d, want %d", c.name, idx, c.want)
+		}
+	}
+	if pickStraggler([]*flight{fl(0, now.Add(-time.Hour), 0, 0)}, now, -1, 1) != nil {
+		t.Error("negative threshold must disable re-dispatch")
+	}
+}
+
+// Property: pickStraggler is independent of the flight table's internal
+// order (the table is maintained by swap-remove, so its order is an
+// accident of scheduling; the policy must not leak it).
+func TestPickStragglerOrderIndependent(t *testing.T) {
+	const th = time.Second
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		now := t0.Add(time.Duration(rng.Intn(100)) * time.Second)
+		n := 1 + rng.Intn(8)
+		flights := make([]*flight, n)
+		for i := range flights {
+			flights[i] = fl(i, now.Add(-time.Duration(rng.Intn(3000))*time.Millisecond), rng.Intn(3), rng.Intn(2))
+		}
+		self := rng.Intn(3)
+		want := pickStraggler(flights, now, th, self)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			rng.Shuffle(n, func(i, j int) { flights[i], flights[j] = flights[j], flights[i] })
+			got := pickStraggler(flights, now, th, self)
+			if (got == nil) != (want == nil) || (got != nil && got.idx != want.idx) {
+				t.Fatalf("trial %d: pick depends on flight order", trial)
+			}
+		}
+	}
+}
+
+func TestStragglerWait(t *testing.T) {
+	const th = 2 * time.Second
+	now := t0.Add(10 * time.Second)
+
+	if w := stragglerWait(nil, now, th, 1); w != 0 {
+		t.Fatalf("no flights: wait %v, want 0 (merge-only wakeups)", w)
+	}
+	if w := stragglerWait([]*flight{fl(0, now.Add(-time.Hour), 1, 0)}, now, th, 1); w != 0 {
+		t.Fatalf("only own flights: wait %v, want 0", w)
+	}
+	if w := stragglerWait([]*flight{fl(0, now.Add(-time.Hour), 0, 1)}, now, th, 1); w != 0 {
+		t.Fatalf("only duplicated flights: wait %v, want 0", w)
+	}
+	// A flight half a threshold old becomes eligible in th/2.
+	if w := stragglerWait([]*flight{fl(0, now.Add(-th/2), 0, 0)}, now, th, 1); w != th/2 {
+		t.Fatalf("wait %v, want %v", w, th/2)
+	}
+	// The soonest-eligible flight sets the wait.
+	flights := []*flight{
+		fl(0, now.Add(-th/4), 0, 0),
+		fl(1, now.Add(-th/2), 0, 0),
+	}
+	if w := stragglerWait(flights, now, th, 1); w != th/2 {
+		t.Fatalf("wait %v, want %v (soonest eligible)", w, th/2)
+	}
+	// Already-overdue flights clamp to the millisecond floor, never 0 or
+	// negative (a zero from an eligible flight would be read as "wait for
+	// merges only" and stall re-dispatch).
+	if w := stragglerWait([]*flight{fl(0, now.Add(-3*th), 0, 0)}, now, th, 1); w != time.Millisecond {
+		t.Fatalf("overdue wait %v, want 1ms floor", w)
+	}
+	if w := stragglerWait([]*flight{fl(0, now.Add(-3*th), 0, 0)}, now, -1, 1); w != 0 {
+		t.Fatalf("negative threshold: wait %v, want 0", w)
+	}
+}
+
+// Property: whenever pickStraggler returns nil but some flight is eligible
+// in principle (not ours, not duplicated), stragglerWait returns a
+// positive wait that, once elapsed, makes pickStraggler succeed — the
+// wait/pick pair can never deadlock an idle worker.
+func TestStragglerWaitThenPick(t *testing.T) {
+	const th = time.Second
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		now := t0.Add(time.Duration(rng.Intn(100)) * time.Second)
+		n := rng.Intn(6)
+		flights := make([]*flight, n)
+		eligible := false
+		for i := range flights {
+			owner, dups := rng.Intn(3), rng.Intn(2)
+			if owner != 1 && dups == 0 {
+				eligible = true
+			}
+			flights[i] = fl(i, now.Add(-time.Duration(rng.Intn(3000))*time.Millisecond), owner, dups)
+		}
+		if pickStraggler(flights, now, th, 1) != nil {
+			continue // immediately dispatchable; nothing to wait for
+		}
+		wait := stragglerWait(flights, now, th, 1)
+		if !eligible {
+			if wait != 0 {
+				t.Fatalf("trial %d: no eligible flight but wait=%v", trial, wait)
+			}
+			continue
+		}
+		if wait <= 0 {
+			t.Fatalf("trial %d: eligible flight but wait=%v", trial, wait)
+		}
+		if pickStraggler(flights, now.Add(wait), th, 1) == nil {
+			t.Fatalf("trial %d: waited %v and still nothing to pick", trial, wait)
+		}
+	}
+}

@@ -39,6 +39,14 @@ go test -race -run 'Conformance|Chaos|Breaker' ./internal/remote
 echo "==> go test -race -run TestBackendEquivalence ./internal/eval"
 go test -race -run 'TestBackendEquivalence$' ./internal/eval
 
+# The distributed-sweep suite is the load-bearing regression for the
+# coordinator (work-stealing shards, health quarantine, straggler
+# re-dispatch, stranded fallback): the grid sharded over a worker fleet —
+# healthy, chaotic, or fully dead — must merge to the single-process
+# outcomes exactly, under the race detector.
+echo "==> go test -race -run 'TestDistributed|TestStranded' ./internal/sweep"
+go test -race -run 'TestDistributed|TestStranded' ./internal/sweep
+
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
@@ -69,6 +77,14 @@ echo "==> experiments -all -backend=remote (chaos schedule, batched wire)"
 go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-faults 'drop-conn=0.0005,stall=0.00002,corrupt-answer=0.0002,partial-write=0.0002' \
 	>"$tmp/chaos.out"
+echo "==> experiments -all -workers 4 (distributed sweep, clean fleet)"
+go run ./cmd/experiments -all -seed 2025 -workers 4 -wire-timeout 150ms \
+	>"$tmp/distributed.out"
+echo "==> experiments -all -workers 4 (distributed sweep, fleet chaos: kills + stalls + wire faults)"
+go run ./cmd/experiments -all -seed 2025 -workers 4 -wire-timeout 150ms \
+	-straggler 100ms \
+	-faults 'worker-kill=0.005,worker-stall=0.01,drop-conn=0.002,corrupt-answer=0.0002' \
+	>"$tmp/distchaos.out"
 cmp "$tmp/inprocess.out" "$tmp/parallel.out" || {
 	echo "check: FAIL: parallel/cached search tables differ from serial" >&2
 	exit 1
@@ -85,6 +101,14 @@ cmp "$tmp/inprocess.out" "$tmp/nointern.out" || {
 	echo "check: FAIL: tables differ with hash-consing disabled" >&2
 	exit 1
 }
-echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos = intern-off)"
+cmp "$tmp/inprocess.out" "$tmp/distributed.out" || {
+	echo "check: FAIL: distributed sweep tables differ from in-process" >&2
+	exit 1
+}
+cmp "$tmp/inprocess.out" "$tmp/distchaos.out" || {
+	echo "check: FAIL: distributed sweep tables differ under fleet chaos" >&2
+	exit 1
+}
+echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos = intern-off = distributed = distributed+chaos)"
 
 echo "check: all gates passed"
