@@ -80,6 +80,7 @@ func coveragePct(outs []eval.Outcome) float64 {
 // human-proof-length bin, vanilla -> hint) on a corpus slice with GPT-4o;
 // run cmd/experiments -fig1a for all models at full scale.
 func BenchmarkFigure1a(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 30)
 	for i := 0; i < b.N; i++ {
@@ -99,6 +100,7 @@ func BenchmarkFigure1a(b *testing.B) {
 // BenchmarkFigure1b regenerates the Figure 1b comparison: Gemini 1.5 Pro
 // with the 1M vs the truncated 128k context window.
 func BenchmarkFigure1b(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 30)
 	for i := 0; i < b.N; i++ {
@@ -112,6 +114,7 @@ func BenchmarkFigure1b(b *testing.B) {
 // BenchmarkTable1 regenerates Table 1: per-category actual vs expected
 // coverage for GPT-4o.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 40)
 	for i := 0; i < b.N; i++ {
@@ -128,6 +131,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates the Table 2 rows: proved/stuck/fuelout rates
 // plus similarity and relative proof length, per model.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 20)
 	for i := 0; i < b.N; i++ {
@@ -146,6 +150,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure2 regenerates the Figure 2 case-study extraction: proved
 // theorems whose generated proof is shorter than the human proof.
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	c := loadCorpus(b)
 	ths := slice(r, 40)
@@ -162,6 +167,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkContextProbe regenerates the §4.3 probe: a failed short theorem
 // re-run with the dependency-reduced context.
 func BenchmarkContextProbe(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 30)
 	for i := 0; i < b.N; i++ {
@@ -191,6 +197,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 	}
 	for name, fn := range algs {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			r := newRunner(b)
 			r.Search = fn
 			ths := slice(r, 20)
@@ -206,6 +213,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 func BenchmarkAblationWidth(b *testing.B) {
 	for _, w := range []int{1, 4, 8, 16} {
 		b.Run(map[int]string{1: "w1", 4: "w4", 8: "w8", 16: "w16"}[w], func(b *testing.B) {
+			b.ReportAllocs()
 			r := newRunner(b)
 			r.Width = w
 			ths := slice(r, 20)
@@ -228,6 +236,7 @@ func BenchmarkBestFirstExpand(b *testing.B) {
 		par  int
 	}{{"serial", 1}, {"parallel", 4}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			r := eval.NewRunner(loadCorpus(b), 2025)
 			r.Parallelism = 1
 			r.SearchParallelism = bc.par
@@ -251,6 +260,7 @@ func BenchmarkTryCache(b *testing.B) {
 		cache bool
 	}{{"off", false}, {"on", true}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			r := eval.NewRunner(loadCorpus(b), 2025)
 			r.Parallelism = 4
 			r.TryCache = bc.cache
@@ -292,6 +302,7 @@ func BenchmarkRemoteExpand(b *testing.B) {
 		batch bool
 	}{{"lockstep", false}, {"batched", true}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			be := remote.New(addr, remote.DefaultPolicy())
 			be.Batch = bc.batch
 			doc, err := be.NewDoc(c.Env, lem.Stmt, "app_nil_r")
@@ -324,6 +335,7 @@ func BenchmarkRemoteExpand(b *testing.B) {
 // BenchmarkProofCheck measures the raw proof-checking throughput of the
 // kernel on the whole corpus (all human proofs).
 func BenchmarkProofCheck(b *testing.B) {
+	b.ReportAllocs()
 	c := loadCorpus(b)
 	files, err := corpus.Sources()
 	if err != nil {
@@ -340,6 +352,7 @@ func BenchmarkProofCheck(b *testing.B) {
 
 // BenchmarkTokenizer measures token counting on the corpus sources.
 func BenchmarkTokenizer(b *testing.B) {
+	b.ReportAllocs()
 	files, err := corpus.Sources()
 	if err != nil {
 		b.Fatal(err)
@@ -359,6 +372,7 @@ func BenchmarkTokenizer(b *testing.B) {
 // BenchmarkSimilarity measures the normalized-Levenshtein metric used by
 // Table 2.
 func BenchmarkSimilarity(b *testing.B) {
+	b.ReportAllocs()
 	c := loadCorpus(b)
 	a := c.Theorems[0].Proof
 	z := c.Theorems[len(c.Theorems)-1].Proof
@@ -371,6 +385,7 @@ func BenchmarkSimilarity(b *testing.B) {
 // BenchmarkWholeProof measures the §4.3 whole-proof probe: complete-script
 // generation without checker interaction, verified after the fact.
 func BenchmarkWholeProof(b *testing.B) {
+	b.ReportAllocs()
 	r := newRunner(b)
 	ths := slice(r, 20)
 	for i := 0; i < b.N; i++ {
@@ -397,6 +412,7 @@ func BenchmarkPromptBuild(b *testing.B) {
 		cache *prompt.Cache
 	}{{"direct", nil}, {"cached", cache}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				total := 0
 				for _, setting := range []prompt.Setting{prompt.Vanilla, prompt.Hint} {
@@ -418,6 +434,7 @@ func BenchmarkPromptBuild(b *testing.B) {
 // declaration-order pass with shared immutable prefixes, against a full
 // per-theorem Env.Clone before this layer existed.
 func BenchmarkRestrictEnv(b *testing.B) {
+	b.ReportAllocs()
 	c := loadCorpus(b)
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(c, 2025)
@@ -447,6 +464,7 @@ func BenchmarkInternTerm(b *testing.B) {
 		on   bool
 	}{{"plain", false}, {"interned", true}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			kernel.SetInterning(bc.on)
 			defer kernel.SetInterning(true)
 			h0, m0 := kernel.InternStats()
@@ -467,6 +485,7 @@ func BenchmarkInternTerm(b *testing.B) {
 // on the same one-intros-deep states as BenchmarkFingerprint. Fresh states
 // each iteration, so the per-state memo never amortizes the walk away.
 func BenchmarkFingerprintKey(b *testing.B) {
+	b.ReportAllocs()
 	c := loadCorpus(b)
 	ths := c.Theorems
 	if len(ths) > 50 {
@@ -502,6 +521,7 @@ func BenchmarkSubstFastPath(b *testing.B) {
 		{"hit", kernel.Subst{"n": kernel.A("S", kernel.A("O"))}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if bc.sub["absent"] != nil && tm.ApplySubst(bc.sub) != tm {
 					b.Fatal("fast path did not return the original pointer")
@@ -517,6 +537,7 @@ func BenchmarkSubstFastPath(b *testing.B) {
 // intros step deep, so goals carry hypotheses), the dedup operation every
 // search candidate pays.
 func BenchmarkFingerprint(b *testing.B) {
+	b.ReportAllocs()
 	c := loadCorpus(b)
 	ths := c.Theorems
 	if len(ths) > 50 {
@@ -572,6 +593,7 @@ func BenchmarkDistributedSweep(b *testing.B) {
 		}
 	}
 	b.Run("inprocess", func(b *testing.B) {
+		b.ReportAllocs()
 		r := newRunner(b)
 		jobs := jobsOf(r)
 		for i := 0; i < b.N; i++ {
@@ -582,6 +604,7 @@ func BenchmarkDistributedSweep(b *testing.B) {
 		}
 	})
 	b.Run("fleet-4", func(b *testing.B) {
+		b.ReportAllocs()
 		r := newRunner(b)
 		jobs := jobsOf(r)
 		fleet, err := sweep.SpawnFleet(r.Corpus.Env, 4)

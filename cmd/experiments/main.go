@@ -48,6 +48,7 @@ func main() {
 		searchPar   = flag.Int("search-parallelism", 1, "concurrent candidate executions within one expansion (1 = serial; tables are identical at every setting)")
 		tryCache    = flag.Bool("try-cache", false, "share a cross-search Try memoization cache across the grid (tables are identical either way)")
 		intern      = flag.Bool("intern", true, "hash-cons kernel terms and formulas in a shared arena (tables are identical either way; off disables only the pointer dedup)")
+		searchArena = flag.Bool("search-arena", true, "recycle tactic-interpreter buffers in per-search scratch arenas (tables are identical either way; off restores per-call allocation)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
@@ -117,6 +118,7 @@ func main() {
 	}
 	r.SearchParallelism = *searchPar
 	r.TryCache = *tryCache
+	r.NoScratchArena = !*searchArena
 	runGrid := r.RunGrid
 	var finishBackend func()
 	if *workers > 0 || *workerAddrs != "" {

@@ -103,6 +103,85 @@ func Hot(x int) {
 	wantFindingsAnyOrder(t, runTyped(t, analyzerHotPathAlloc, m), "interface boxing: int value passed as")
 }
 
+// TestHotPathAllocScratchMethodExempt: the scratch arena's own methods are
+// the recycling mechanism — their freelist-miss allocations must not be
+// findings, while the same constructs in any other hot function still fire.
+func TestHotPathAllocScratchMethodExempt(t *testing.T) {
+	m := loadFixture(t, map[string]string{"go.mod": fixGomod, "h/h.go": `package h
+
+type Scratch struct{ bufs [][]int }
+
+func (sc *Scratch) Buf(n int) []int {
+	if len(sc.bufs) > 0 {
+		b := sc.bufs[len(sc.bufs)-1]
+		sc.bufs = sc.bufs[:len(sc.bufs)-1]
+		return b[:n]
+	}
+	m := map[string]int{}
+	_ = m
+	return make([]int, n)
+}
+
+//hot:root
+func Hot(sc *Scratch) []int {
+	m := map[string]int{}
+	_ = m
+	return sc.Buf(4)
+}
+`})
+	// Hot's own map literal fires; the identical literal inside the Scratch
+	// method does not.
+	wantFindingsAnyOrder(t, runTyped(t, analyzerHotPathAlloc, m), "map literal")
+}
+
+// TestHotPathAllocTableFastPathExempt: string concatenation behind a
+// package-level table-lookup return is the cold slow path of the
+// precomputed-name idiom; the same concat without a table still fires.
+func TestHotPathAllocTableFastPathExempt(t *testing.T) {
+	m := loadFixture(t, map[string]string{"go.mod": fixGomod, "h/h.go": `package h
+
+import "strconv"
+
+var tab = [4]string{"v0", "v1", "v2", "v3"}
+
+func vName(i int) string {
+	if i < len(tab) {
+		return tab[i]
+	}
+	return "v" + strconv.Itoa(i)
+}
+
+func raw(i int) string {
+	return "v" + strconv.Itoa(i)
+}
+
+//hot:root
+func Hot(i int) string {
+	return vName(i) + raw(i)
+}
+`})
+	got := runTyped(t, analyzerHotPathAlloc, m)
+	var labels []string
+	for _, f := range got {
+		if strings.Contains(f.Message, "string concatenation") {
+			labels = append(labels, f.Message)
+		}
+	}
+	for _, msg := range labels {
+		if strings.Contains(msg, "(vName)") {
+			t.Errorf("table-fast-path concat flagged: %q", msg)
+		}
+	}
+	wantRaw, wantHot := false, false
+	for _, msg := range labels {
+		wantRaw = wantRaw || strings.Contains(msg, "(raw)")
+		wantHot = wantHot || strings.Contains(msg, "(Hot)")
+	}
+	if !wantRaw || !wantHot {
+		t.Errorf("tableless concats must still fire (raw=%v, Hot=%v):\n%v", wantRaw, wantHot, got)
+	}
+}
+
 // TestTypedSuppression is the regression test for the hoisted suppression
 // pass: a //lint:ignore directive parsed by the shared AST loader must
 // silence typed-family findings too.

@@ -37,6 +37,18 @@ type Doc interface {
 	Close() error
 }
 
+// ScratchTryer is implemented by documents that can execute a Try with a
+// caller-supplied kernel.Scratch — the per-worker buffer arena of the
+// allocation-free search inner loop. Only the in-process document implements
+// it (remote documents execute across a wire, where a local scratch has
+// nothing to recycle); the search engine type-asserts and falls back to
+// plain Try.
+type ScratchTryer interface {
+	// TryScratch is Try threading sc through the tactic interpreter.
+	// sc must not be shared between concurrent calls.
+	TryScratch(parent *tactic.State, path []string, sentence string, sc *kernel.Scratch) Step
+}
+
 // BatchDoc is implemented by documents for which executing several sibling
 // sentences against one parent state in a single backend exchange is
 // cheaper than one Try per sentence (the remote backend's ExecBatch: one
@@ -126,7 +138,11 @@ type inProcessDoc struct {
 func (d *inProcessDoc) Root() *tactic.State { return d.root }
 
 func (d *inProcessDoc) Try(parent *tactic.State, path []string, sentence string) Step {
-	res := TryTactic(parent, sentence)
+	return d.TryScratch(parent, path, sentence, nil)
+}
+
+func (d *inProcessDoc) TryScratch(parent *tactic.State, path []string, sentence string, sc *kernel.Scratch) Step {
+	res := TryTacticS(parent, sentence, sc)
 	st := Step{Status: res.Status, NumGoals: res.NumGoals, State: res.State, Err: res.Err}
 	if res.Status == Applied {
 		st.Proved = res.State.Done()

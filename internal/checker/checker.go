@@ -53,7 +53,14 @@ type Result struct {
 // TryTactic applies one tactic sentence to a proof state, classifying
 // failures. It never mutates the input state.
 func TryTactic(state *tactic.State, sentence string) Result {
-	ns, err := tactic.ApplySentence(state, sentence)
+	return TryTacticS(state, sentence, nil)
+}
+
+// TryTacticS is TryTactic with a per-search scratch arena for the tactic
+// interpreter's transient buffers (sc may be nil). The returned states never
+// alias scratch memory, so a search worker reuses one Scratch for every Try.
+func TryTacticS(state *tactic.State, sentence string, sc *kernel.Scratch) Result {
+	ns, err := tactic.ApplySentenceS(state, sentence, sc)
 	if err != nil {
 		if tactic.IsTimeout(err) {
 			return Result{Status: Timeout, Err: err}

@@ -135,6 +135,11 @@ func TestSearchModeEquivalence(t *testing.T) {
 					// the cached leg stays shared so intern-off searches must also
 					// reuse (and produce) the same 128-bit-keyed entries.
 					{"intern-off", true, func(c *Config) { c.Parallelism = 2; c.Cache = shared }},
+					// The scratch arenas recycle buffers, never results: the
+					// serial leg checks the lazy step() path without scratch,
+					// the parallel leg the per-worker scratches' absence.
+					{"arena-off", false, func(c *Config) { c.NoScratchArena = true }},
+					{"arena-off-parallel", false, func(c *Config) { c.NoScratchArena = true; c.Parallelism = 4 }},
 				}
 				for _, m := range modes {
 					cfg := base

@@ -29,12 +29,27 @@ import (
 // cannot influence any outcome: results are byte-identical across
 // strategies, which TestSearchModeEquivalence and the scripts/check.sh
 // full-sweep cmp gates enforce.
+//
+// The expander also owns the search's kernel.Scratch arenas (DESIGN.md §13):
+// one for the search goroutine's serial/lazy executions, plus one per
+// worker under the parallel strategy (a Scratch is single-goroutine).
+// Scratches recycle the tactic interpreter's transient buffers; the states
+// a Try returns never alias them, so reuse across every Try of a search is
+// safe. Config.NoScratchArena disables them (nil scratch = the legacy
+// allocation behavior), with byte-identical results.
 type expander struct {
 	doc   checker.Doc
 	batch checker.BatchDoc
+	st    checker.ScratchTryer
 	par   int
 	cache *TryCache
 	env   *kernel.Env
+	sc    *kernel.Scratch   // search-goroutine scratch (nil when disabled)
+	scs   []*kernel.Scratch // per-worker scratches (parallel strategy)
+
+	// Recycled buffers, touched only by the search goroutine.
+	free []*expansion
+	miss []int
 }
 
 func newExpander(cfg Config, doc checker.Doc) *expander {
@@ -42,7 +57,28 @@ func newExpander(cfg Config, doc checker.Doc) *expander {
 	if bd, ok := doc.(checker.BatchDoc); ok {
 		x.batch = bd
 	}
+	if !cfg.NoScratchArena {
+		if st, ok := doc.(checker.ScratchTryer); ok {
+			x.st = st
+			x.sc = &kernel.Scratch{}
+			if cfg.Parallelism > 1 {
+				x.scs = make([]*kernel.Scratch, cfg.Parallelism)
+				for i := range x.scs {
+					x.scs[i] = &kernel.Scratch{}
+				}
+			}
+		}
+	}
 	return x
+}
+
+// try executes one sentence, threading the caller's scratch when the
+// document supports it.
+func (x *expander) try(parent *tactic.State, path []string, sentence string, sc *kernel.Scratch) checker.Step {
+	if x.st != nil {
+		return x.st.TryScratch(parent, path, sentence, sc)
+	}
+	return x.doc.Try(parent, path, sentence)
 }
 
 // expansion holds one node's candidates and their execution outcomes. The
@@ -66,7 +102,7 @@ func (e *expansion) cand(i int) model.Candidate { return e.cands[i] }
 // serial strategy.
 func (e *expansion) step(i int) checker.Step {
 	if !e.done[i] {
-		e.finish(i, e.x.doc.Try(e.parent, e.path, e.cands[i].Tactic))
+		e.finish(i, e.x.try(e.parent, e.path, e.cands[i].Tactic, e.x.sc))
 	}
 	return e.steps[i]
 }
@@ -82,20 +118,52 @@ func (e *expansion) finish(i int, step checker.Step) {
 	}
 }
 
+// get returns a recycled expansion with buffers sized for n candidates.
+func (x *expander) get(n int) *expansion {
+	if last := len(x.free) - 1; last >= 0 {
+		e := x.free[last]
+		x.free[last] = nil
+		x.free = x.free[:last]
+		if cap(e.cands) >= n {
+			e.cands = e.cands[:n]
+			e.steps = e.steps[:n]
+			e.done = e.done[:n]
+			for i := range e.done {
+				e.done[i] = false
+			}
+			return e
+		}
+	}
+	return &expansion{
+		x:     x,
+		cands: make([]model.Candidate, n),
+		steps: make([]checker.Step, n),
+		done:  make([]bool, n),
+	}
+}
+
+// put recycles an expansion the search has fully merged. The search must
+// not touch e afterwards; steps are cleared so recycled buffers do not pin
+// retired proof states.
+func (x *expander) put(e *expansion) {
+	e.parent, e.path, e.key = nil, nil, stateKey{}
+	for i := range e.steps {
+		e.steps[i] = checker.Step{}
+		e.cands[i] = model.Candidate{}
+	}
+	x.free = append(x.free, e)
+}
+
 // expand copies the candidates, resolves what the shared cache already
 // knows, and — under the batched or parallel strategies — executes the
 // rest eagerly. Serial consumers get a lazy expansion.
 //
 //hot:root
 func (x *expander) expand(parent *tactic.State, path []string, cands []model.Candidate) *expansion {
-	e := &expansion{
-		x:      x,
-		parent: parent,
-		path:   path,
-		cands:  append([]model.Candidate(nil), cands...),
-		steps:  make([]checker.Step, len(cands)),
-		done:   make([]bool, len(cands)),
-	}
+	e := x.get(len(cands))
+	e.parent = parent
+	e.path = path
+	copy(e.cands, cands)
 	if x.cache != nil {
 		// The strict TryCache identity is the state's 128-bit StrictKey — an
 		// O(#goals) combine over stored node hashes; no rendering happens.
@@ -109,12 +177,13 @@ func (x *expander) expand(parent *tactic.State, path []string, cands []model.Can
 	if x.batch == nil && x.par <= 1 {
 		return e
 	}
-	miss := make([]int, 0, len(e.cands))
+	miss := x.miss[:0]
 	for i := range e.cands {
 		if !e.done[i] {
 			miss = append(miss, i)
 		}
 	}
+	x.miss = miss[:0]
 	if len(miss) == 0 {
 		return e
 	}
@@ -144,9 +213,14 @@ func (x *expander) expand(parent *tactic.State, path []string, cands []model.Can
 			defer wg.Done()
 			// Workers are pure: they read the (immutable, pre-warmed)
 			// parent and write disjoint slots of steps. Everything
-			// order-sensitive happens in the merge below.
+			// order-sensitive happens in the merge below. Each worker uses
+			// its own scratch; slot w is never shared.
+			var sc *kernel.Scratch
+			if x.scs != nil {
+				sc = x.scs[w]
+			}
 			for j := w; j < len(miss); j += par {
-				steps[j] = x.doc.Try(parent, path, e.cands[miss[j]].Tactic)
+				steps[j] = x.try(parent, path, e.cands[miss[j]].Tactic, sc)
 			}
 		}(w)
 	}

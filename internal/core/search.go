@@ -71,6 +71,12 @@ type Config struct {
 	// Cache, when non-nil, memoizes Try outcomes across the searches that
 	// share it (keyed on env identity + concrete parent state + sentence).
 	Cache *TryCache
+	// NoScratchArena disables the per-search scratch arenas that recycle
+	// the tactic interpreter's transient buffers (the -search-arena=false
+	// parity mode). The zero value enables them; results are byte-identical
+	// either way, which TestSearchModeEquivalence and the scripts/check.sh
+	// arena-off sweep enforce.
+	NoScratchArena bool
 }
 
 // open creates the proof document for this search. Backend failures never
@@ -243,6 +249,7 @@ func BestFirst(cfg Config) Result {
 			child.seq = seq
 			heap.Push(open, child)
 		}
+		x.put(exp)
 	}
 	res.Status = Stuck
 	return res
@@ -291,6 +298,8 @@ func Linear(cfg Config) Result {
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		if top.next >= top.exp.len() {
+			x.put(top.exp)
+			stack[len(stack)-1] = frame{}
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -379,6 +388,7 @@ func Greedy(cfg Config) Result {
 			next = child
 			break
 		}
+		x.put(exp)
 		if next == nil {
 			res.Status = Stuck
 			return res

@@ -67,22 +67,25 @@ type TryCache struct {
 // NewTryCache builds an empty, unbounded cache.
 func NewTryCache() *TryCache { return NewTryCacheSized(0) }
 
-// NewTryCacheSized builds a cache pre-sized for roughly `hint` resident
-// entries (a workload estimate, e.g. from grid dimensions and observed hit
-// rates), bounded at four times that to keep a misestimate from growing
-// without limit. hint <= 0 means unsized and unbounded.
+// NewTryCacheSized builds a cache bounded at roughly four times `hint`
+// resident entries (a workload estimate, e.g. from grid dimensions and
+// observed hit rates), keeping a misestimate from growing without limit.
+// The hint bounds; it does not pre-size: most sweeps resolve far below the
+// worst-case estimate (searches stop at proved/stuck long before the query
+// limit — the newSeen insight), and eagerly allocating worst-case buckets
+// costs more in live heap scanned every GC cycle than growth rehashing
+// ever does. hint <= 0 means unbounded.
 func NewTryCacheSized(hint int) *TryCache {
 	c := &TryCache{}
-	per := 0
+	per := 16
 	if hint > 0 {
-		per = hint / tryShards
-		if per < 16 {
-			per = 16
+		if p := hint / tryShards; p > per {
+			per = p
 		}
 		c.shardCap = 4 * per
 	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[tryKey]checker.Step, per)
+		c.shards[i].m = make(map[tryKey]checker.Step, 16)
 	}
 	return c
 }

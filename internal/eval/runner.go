@@ -67,6 +67,9 @@ type Runner struct {
 	// prompt item cache is shared. Results are identical either way; only
 	// redundant tactic executions disappear.
 	TryCache bool
+	// NoScratchArena disables the per-search scratch arenas (the
+	// -search-arena=false parity mode); see core.Config.NoScratchArena.
+	NoScratchArena bool
 
 	// The caches below are pointers so Runner values can be copied for
 	// ablation variants (width/fuel/algorithm changes) while sharing the
@@ -86,6 +89,10 @@ type Runner struct {
 	// Runner (width/fuel/algorithm changes never affect a memoized Try)
 	// keep sharing one cache.
 	trymemo *tryIndex
+	// retrIdx shares the model's retrieval indexes across every search of
+	// the grid (pure per-(prompt, n-gram, profile) data; see
+	// model.RetrCache).
+	retrIdx *model.RetrCache
 }
 
 // tryIndex caches the cross-search Try memo behind a once, like envIndex.
@@ -120,6 +127,7 @@ func NewRunner(c *corpus.Corpus, seed int64) *Runner {
 		prompts:    &promptIndex{},
 		ngrams:     &sync.Map{},
 		trymemo:    &tryIndex{},
+		retrIdx:    model.NewRetrCache(),
 	}
 }
 
@@ -349,6 +357,7 @@ func (r *Runner) RunTheorem(prof model.Profile, setting prompt.Setting, th *corp
 func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, env *kernel.Env, pr *prompt.Prompt) Outcome {
 	ng := r.ngramFor(pr)
 	mdl := model.New(prof, env)
+	mdl.Retr = r.retrIdx
 	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String())))
 
 	cfg := core.Config{
@@ -363,6 +372,8 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 		Lemma:       th.Name,
 		Parallelism: r.SearchParallelism,
 		Cache:       r.tryCache(),
+
+		NoScratchArena: r.NoScratchArena,
 	}
 	search := r.Search
 	if search == nil {
@@ -422,6 +433,7 @@ func (r *Runner) RunWholeProof(prof model.Profile, setting prompt.Setting, th *c
 	pr := b.Build(th)
 	ng := r.ngramFor(pr)
 	mdl := model.New(prof, env)
+	mdl.Retr = r.retrIdx
 	rng := rand.New(rand.NewSource(r.jobSeed(th.Name, prof.Name, setting.String()+"/whole")))
 
 	out := Outcome{

@@ -1,7 +1,6 @@
 package kernel
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -133,14 +132,18 @@ func (f *Form) AlphaEqual(g *Form) bool {
 // quantifiers whose binder would capture a substituted variable are renamed.
 //
 //hot:root
-func (f *Form) SubstTerm(s Subst) *Form {
+func (f *Form) SubstTerm(s Subst) *Form { return f.SubstTermS(s, nil) }
+
+// SubstTermS is SubstTerm drawing transient buffers from a per-search
+// scratch arena (sc may be nil; see Scratch).
+func (f *Form) SubstTermS(s Subst, sc *Scratch) *Form {
 	if f == nil || len(s) == 0 {
 		return f
 	}
-	return f.substTerm(s, s.sig())
+	return f.substTerm(s, s.sig(), sc)
 }
 
-func (f *Form) substTerm(s Subst, sig uint64) *Form {
+func (f *Form) substTerm(s Subst, sig uint64, sc *Scratch) *Form {
 	if f == nil {
 		return f
 	}
@@ -155,7 +158,7 @@ func (f *Form) substTerm(s Subst, sig uint64) *Form {
 	case FEq:
 		// Forms are immutable: subtrees the substitution does not touch are
 		// returned as-is rather than rebuilt (likewise in every case below).
-		t1, t2 := f.T1.applySubst(s, sig), f.T2.applySubst(s, sig)
+		t1, t2 := f.T1.applySubst(s, sig, sc), f.T2.applySubst(s, sig, sc)
 		if t1 == f.T1 && t2 == f.T2 {
 			return f
 		}
@@ -163,9 +166,9 @@ func (f *Form) substTerm(s Subst, sig uint64) *Form {
 	case FPred:
 		var nargs []*Term
 		for i, a := range f.Args {
-			na := a.applySubst(s, sig)
+			na := a.applySubst(s, sig, sc)
 			if na != a && nargs == nil {
-				nargs = make([]*Term, len(f.Args))
+				nargs = sc.Args(len(f.Args))
 				copy(nargs, f.Args[:i])
 			}
 			if nargs != nil {
@@ -175,15 +178,17 @@ func (f *Form) substTerm(s Subst, sig uint64) *Form {
 		if nargs == nil {
 			return f
 		}
-		return mkPred(f.Pred, nargs)
+		r := mkPred(f.Pred, nargs)
+		sc.PutArgs(nargs)
+		return r
 	case FNot:
-		l := f.L.substTerm(s, sig)
+		l := f.L.substTerm(s, sig, sc)
 		if l == f.L {
 			return f
 		}
 		return Not(l)
 	case FAnd, FOr, FImpl, FIff:
-		l, r := f.L.substTerm(s, sig), f.R.substTerm(s, sig)
+		l, r := f.L.substTerm(s, sig, sc), f.R.substTerm(s, sig, sc)
 		if l == f.L && r == f.R {
 			return f
 		}
@@ -219,9 +224,9 @@ func (f *Form) substTerm(s Subst, sig uint64) *Form {
 			}
 			fresh := FreshName(binder, used)
 			renamed := f.Body.SubstTerm(Subst{binder: V(fresh)})
-			return mkQuant(f.Kind, fresh, f.BType, renamed.SubstTerm(inner))
+			return mkQuant(f.Kind, fresh, f.BType, renamed.SubstTermS(inner, sc))
 		}
-		body := f.Body.substTerm(inner, innerSig)
+		body := f.Body.substTerm(inner, innerSig, sc)
 		if body == f.Body {
 			return f
 		}
@@ -232,6 +237,22 @@ func (f *Form) substTerm(s Subst, sig uint64) *Form {
 
 // Subst1 substitutes a single variable.
 func (f *Form) Subst1(x string, t *Term) *Form { return f.SubstTerm(Subst{x: t}) }
+
+// Interned reports whether the formula is a canonical arena node. Interned
+// forms have stable pointer identity (two structurally equal interned forms
+// are the same pointer), so callers may memoize pure functions of a formula
+// on its pointer.
+func (f *Form) Interned() bool { return f != nil && f.interned }
+
+// Subst1S is Subst1 with the one-entry substitution map drawn from the
+// scratch arena (SubstTerm never retains the map, so recycling it is safe).
+func (f *Form) Subst1S(x string, t *Term, sc *Scratch) *Form {
+	s := sc.TrialSubst()
+	s[x] = t
+	r := f.SubstTermS(s, sc)
+	sc.PutSubst(s)
+	return r
+}
 
 // FreeVars returns the free term variables of the formula.
 func (f *Form) FreeVars() map[string]bool {
@@ -469,7 +490,7 @@ func (f *Form) fingerprint(b fpSink, ren map[string]string, ctr *int) {
 			q = "E"
 		}
 		*ctr++
-		fresh := fmt.Sprintf("b%d", *ctr)
+		fresh := fpBinderName(*ctr)
 		old, had := ren[f.Binder]
 		ren[f.Binder] = fresh
 		b.WriteString("(")
@@ -517,7 +538,7 @@ func fingerprintTerm(t *Term, b fpSink, ren map[string]string, ctr *int) {
 					case p.Var != "":
 						if _, done := inner[p.Var]; !done || ren[p.Var] == inner[p.Var] {
 							*ctr++
-							inner[p.Var] = fmt.Sprintf("mb%d", *ctr)
+							inner[p.Var] = fpMatchBinderName(*ctr)
 						}
 					default:
 						for _, a := range p.Args {

@@ -186,18 +186,43 @@ func computeTermKey(t *Term) (a, b, sig uint64) {
 		k := h.Sum()
 		return nz(k[0]), k[1], sig
 	default:
-		h := NewKeyHasher(tagApp)
-		h.Str(t.Fun)
-		h.Word(uint64(len(t.Args)))
-		for _, arg := range t.Args {
-			aa, ab, asig := termKey(arg)
-			h.Word(aa)
-			h.Word(ab)
-			sig |= asig
-		}
-		k := h.Sum()
-		return nz(k[0]), k[1], sig
+		return computeAppKey(t.Fun, t.Args)
 	}
+}
+
+// computeAppKey is computeTermKey's application case with the fields passed
+// separately, so the hot mkApp path never stores the caller's argument slice
+// into a candidate node (which would force it to the heap; see internApp).
+func computeAppKey(fun string, args []*Term) (a, b, sig uint64) {
+	h := NewKeyHasher(tagApp)
+	h.Str(fun)
+	h.Word(uint64(len(args)))
+	for _, arg := range args {
+		aa, ab, asig := termKey(arg)
+		h.Word(aa)
+		h.Word(ab)
+		sig |= asig
+	}
+	k := h.Sum()
+	return nz(k[0]), k[1], sig
+}
+
+// computePredKey is computeFormKey's FPred case with the fields passed
+// separately (same motivation as computeAppKey; see internPred). The byte
+// sequence absorbed is identical to computeFormKey's.
+func computePredKey(name string, args []*Term) (a, b, sig uint64) {
+	h := NewKeyHasher(tagForm)
+	h.Word(uint64(FPred))
+	h.Str(name)
+	h.Word(uint64(len(args)))
+	for _, t := range args {
+		ta, tb, ts := termKey(t)
+		h.Word(ta)
+		h.Word(tb)
+		sig |= ts
+	}
+	k := h.Sum()
+	return nz(k[0]), k[1], sig
 }
 
 // formKey is termKey's analogue for formulas. The stored form hash is the
@@ -228,14 +253,7 @@ func computeFormKey(f *Form) (a, b, sig uint64) {
 		h.Word(b2)
 		sig = s1 | s2
 	case FPred:
-		h.Str(f.Pred)
-		h.Word(uint64(len(f.Args)))
-		for _, t := range f.Args {
-			ta, tb, ts := termKey(t)
-			h.Word(ta)
-			h.Word(tb)
-			sig |= ts
-		}
+		return computePredKey(f.Pred, f.Args)
 	case FNot:
 		la, lb, ls := formKey(f.L)
 		h.Word(la)
@@ -336,22 +354,134 @@ func renSig(ren map[string]string) uint64 {
 
 // ---------------------------------------------------------------------------
 // Arenas.
+//
+// Each shard owns bump chunks of permanent storage: canonical nodes and the
+// copies of their child slices live there, appended under the shard mutex and
+// never freed (interned nodes are immortal by design). Constructors build
+// candidate nodes as stack values and only copy them into a chunk on an arena
+// miss, so the common case — a hit — allocates nothing at all, and a miss
+// costs amortized one chunk allocation per chunkSize nodes. Because the copy
+// happens on miss, constructors never retain caller-owned argument slices:
+// callers (and the variadic A/Pred helpers) may reuse or stack-allocate them.
 
-const arenaShards = 256
+const (
+	arenaShards = 256
+	// nodeChunk is the bump-chunk length for node storage; argChunk for the
+	// pooled child-pointer storage backing Args copies.
+	nodeChunk = 128
+	argChunk  = 512
+)
 
 type termShard struct {
-	mu sync.Mutex
-	m  map[uint64][]*Term
+	mu    sync.Mutex
+	m     map[uint64][]*Term
+	nodes []Term
+	args  []*Term
 }
 
 type formShard struct {
-	mu sync.Mutex
-	m  map[uint64][]*Form
+	mu    sync.Mutex
+	m     map[uint64][]*Form
+	nodes []Form
+	args  []*Term
 }
 
 type typeShard struct {
-	mu sync.Mutex
-	m  map[uint64][]*Type
+	mu    sync.Mutex
+	m     map[uint64][]*Type
+	nodes []Type
+	args  []*Type
+}
+
+// newTerm copies candidate t into shard-owned permanent storage. Must be
+// called with the shard mutex held.
+func (sh *termShard) newTerm(t *Term) *Term {
+	if len(sh.nodes) == cap(sh.nodes) {
+		sh.nodes = make([]Term, 0, nodeChunk)
+	}
+	sh.nodes = sh.nodes[:len(sh.nodes)+1]
+	n := &sh.nodes[len(sh.nodes)-1]
+	n.Var, n.Fun = t.Var, t.Fun
+	n.hash, n.hash2, n.varSig = t.hash, t.hash2, t.varSig
+	n.Args = sh.copyArgs(t.Args)
+	if t.Match != nil {
+		n.Match = &MatchExpr{Scrut: t.Match.Scrut, Cases: append([]MatchCase(nil), t.Match.Cases...)}
+	}
+	return n
+}
+
+func (sh *termShard) copyArgs(src []*Term) []*Term {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(sh.args)-len(sh.args) < len(src) {
+		c := argChunk
+		if c < len(src) {
+			c = len(src)
+		}
+		sh.args = make([]*Term, 0, c)
+	}
+	n := len(sh.args)
+	sh.args = append(sh.args, src...)
+	return sh.args[n:len(sh.args):len(sh.args)]
+}
+
+func (sh *formShard) newForm(f *Form) *Form {
+	if len(sh.nodes) == cap(sh.nodes) {
+		sh.nodes = make([]Form, 0, nodeChunk)
+	}
+	sh.nodes = sh.nodes[:len(sh.nodes)+1]
+	n := &sh.nodes[len(sh.nodes)-1]
+	n.Kind, n.Pred, n.Binder = f.Kind, f.Pred, f.Binder
+	n.T1, n.T2, n.L, n.R = f.T1, f.T2, f.L, f.R
+	n.BType, n.Body = f.BType, f.Body
+	n.hash, n.hash2, n.varSig = f.hash, f.hash2, f.varSig
+	n.Args = sh.copyArgs(f.Args)
+	return n
+}
+
+func (sh *formShard) copyArgs(src []*Term) []*Term {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(sh.args)-len(sh.args) < len(src) {
+		c := argChunk
+		if c < len(src) {
+			c = len(src)
+		}
+		sh.args = make([]*Term, 0, c)
+	}
+	n := len(sh.args)
+	sh.args = append(sh.args, src...)
+	return sh.args[n:len(sh.args):len(sh.args)]
+}
+
+func (sh *typeShard) newType(t *Type) *Type {
+	if len(sh.nodes) == cap(sh.nodes) {
+		sh.nodes = make([]Type, 0, nodeChunk)
+	}
+	sh.nodes = sh.nodes[:len(sh.nodes)+1]
+	n := &sh.nodes[len(sh.nodes)-1]
+	n.Name, n.TVar = t.Name, t.TVar
+	n.hash, n.hash2 = t.hash, t.hash2
+	n.Args = sh.copyArgs(t.Args)
+	return n
+}
+
+func (sh *typeShard) copyArgs(src []*Type) []*Type {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(sh.args)-len(sh.args) < len(src) {
+		c := argChunk
+		if c < len(src) {
+			c = len(src)
+		}
+		sh.args = make([]*Type, 0, c)
+	}
+	n := len(sh.args)
+	sh.args = append(sh.args, src...)
+	return sh.args[n:len(sh.args):len(sh.args)]
 }
 
 // The arenas are package globals with lazily initialized shard maps, so they
@@ -423,9 +553,14 @@ func sameTypeShallow(a, b *Type) bool {
 	return true
 }
 
+// internTerm canonicalizes candidate *t, which the caller builds as a stack
+// value. On a hit the canonical node is returned and nothing is allocated; on
+// a miss (or with interning off / raw-literal children) the candidate and its
+// Args are copied into storage the node owns, so the caller's slices are
+// never retained.
 func internTerm(t *Term, kids bool) *Term {
 	if !kids || internOff.Load() {
-		return t
+		return newTransientTerm(t)
 	}
 	sh := &termArena[t.hash&(arenaShards-1)]
 	sh.mu.Lock()
@@ -439,16 +574,31 @@ func internTerm(t *Term, kids bool) *Term {
 			return c
 		}
 	}
-	t.interned = true
-	sh.m[t.hash] = append(sh.m[t.hash], t)
+	n := sh.newTerm(t)
+	n.interned = true
+	sh.m[t.hash] = append(sh.m[t.hash], n)
 	sh.mu.Unlock()
 	internMisses.Add(1)
-	return t
+	return n
+}
+
+// newTransientTerm heap-copies a candidate that bypasses the arena (interning
+// off, or a raw-literal child). Copying keeps the no-retention contract
+// uniform: constructor argument slices stay caller-owned on every path.
+func newTransientTerm(t *Term) *Term {
+	n := &Term{Var: t.Var, Fun: t.Fun, hash: t.hash, hash2: t.hash2, varSig: t.varSig}
+	if len(t.Args) > 0 {
+		n.Args = append([]*Term(nil), t.Args...)
+	}
+	if t.Match != nil {
+		n.Match = &MatchExpr{Scrut: t.Match.Scrut, Cases: append([]MatchCase(nil), t.Match.Cases...)}
+	}
+	return n
 }
 
 func internForm(f *Form, kids bool) *Form {
 	if !kids || internOff.Load() {
-		return f
+		return newTransientForm(f)
 	}
 	sh := &formArena[f.hash&(arenaShards-1)]
 	sh.mu.Lock()
@@ -462,16 +612,29 @@ func internForm(f *Form, kids bool) *Form {
 			return c
 		}
 	}
-	f.interned = true
-	sh.m[f.hash] = append(sh.m[f.hash], f)
+	n := sh.newForm(f)
+	n.interned = true
+	sh.m[f.hash] = append(sh.m[f.hash], n)
 	sh.mu.Unlock()
 	internMisses.Add(1)
-	return f
+	return n
+}
+
+func newTransientForm(f *Form) *Form {
+	n := &Form{
+		Kind: f.Kind, Pred: f.Pred, Binder: f.Binder,
+		T1: f.T1, T2: f.T2, L: f.L, R: f.R, BType: f.BType, Body: f.Body,
+		hash: f.hash, hash2: f.hash2, varSig: f.varSig,
+	}
+	if len(f.Args) > 0 {
+		n.Args = append([]*Term(nil), f.Args...)
+	}
+	return n
 }
 
 func internType(ty *Type, kids bool) *Type {
 	if !kids || internOff.Load() {
-		return ty
+		return newTransientType(ty)
 	}
 	sh := &typeArena[ty.hash&(arenaShards-1)]
 	sh.mu.Lock()
@@ -485,26 +648,38 @@ func internType(ty *Type, kids bool) *Type {
 			return c
 		}
 	}
-	ty.interned = true
-	sh.m[ty.hash] = append(sh.m[ty.hash], ty)
+	n := sh.newType(ty)
+	n.interned = true
+	sh.m[ty.hash] = append(sh.m[ty.hash], n)
 	sh.mu.Unlock()
 	internMisses.Add(1)
-	return ty
+	return n
+}
+
+func newTransientType(ty *Type) *Type {
+	n := &Type{Name: ty.Name, TVar: ty.TVar, hash: ty.hash, hash2: ty.hash2}
+	if len(ty.Args) > 0 {
+		n.Args = append([]*Type(nil), ty.Args...)
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------
 // Interning constructors. All node construction in the kernel and in client
 // packages goes through these (enforced by the internkernel analyzer).
 
+// The constructors build candidates as stack values: internTerm/internForm/
+// internType never retain their argument, so neither the candidate nor the
+// caller's argument slice escapes on the (overwhelmingly common) hit path.
+
 func mkVar(name string) *Term {
-	t := &Term{Var: name}
-	t.hash, t.hash2, t.varSig = computeTermKey(t)
-	return internTerm(t, true)
+	t := Term{Var: name}
+	t.hash, t.hash2, t.varSig = computeTermKey(&t)
+	return internTerm(&t, true)
 }
 
 func mkApp(fun string, args []*Term) *Term {
-	t := &Term{Fun: fun, Args: args}
-	t.hash, t.hash2, t.varSig = computeTermKey(t)
+	h, h2, sig := computeAppKey(fun, args)
 	kids := true
 	for _, a := range args {
 		if !termInterned(a) {
@@ -512,17 +687,71 @@ func mkApp(fun string, args []*Term) *Term {
 			break
 		}
 	}
-	return internTerm(t, kids)
+	return internApp(fun, args, h, h2, sig, kids)
+}
+
+// internApp is internTerm specialized to applications: the argument slice is
+// threaded separately and only its elements are ever stored, so the variadic
+// slice built at an A(...) call site (and scratch buffers handed to mkApp)
+// provably never escape — the compiler stack-allocates them.
+func internApp(fun string, args []*Term, h, h2, sig uint64, kids bool) *Term {
+	if !kids || internOff.Load() {
+		n := &Term{Fun: fun, hash: h, hash2: h2, varSig: sig}
+		if len(args) > 0 {
+			n.Args = append([]*Term(nil), args...)
+		}
+		return n
+	}
+	sh := &termArena[h&(arenaShards-1)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*Term)
+	}
+	for _, c := range sh.m[h] {
+		if sameAppShallow(c, h2, fun, args) {
+			sh.mu.Unlock()
+			internHits.Add(1)
+			return c
+		}
+	}
+	if len(sh.nodes) == cap(sh.nodes) {
+		sh.nodes = make([]Term, 0, nodeChunk)
+	}
+	sh.nodes = sh.nodes[:len(sh.nodes)+1]
+	n := &sh.nodes[len(sh.nodes)-1]
+	n.Fun = fun
+	n.hash, n.hash2, n.varSig = h, h2, sig
+	n.Args = sh.copyArgs(args)
+	n.interned = true
+	sh.m[h] = append(sh.m[h], n)
+	sh.mu.Unlock()
+	internMisses.Add(1)
+	return n
+}
+
+// sameAppShallow is sameTermShallow against an application candidate passed
+// as loose fields.
+func sameAppShallow(c *Term, h2 uint64, fun string, args []*Term) bool {
+	if c.hash2 != h2 || c.Var != "" || c.Fun != fun || c.Match != nil || len(c.Args) != len(args) {
+		return false
+	}
+	for i := range args {
+		if c.Args[i] != args[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func mkMatch(scrut *Term, cases []MatchCase) *Term {
-	t := &Term{Match: &MatchExpr{Scrut: scrut, Cases: cases}}
-	t.hash, t.hash2, t.varSig = computeTermKey(t)
+	me := MatchExpr{Scrut: scrut, Cases: cases}
+	t := Term{Match: &me}
+	t.hash, t.hash2, t.varSig = computeTermKey(&t)
 	kids := termInterned(scrut)
 	for _, c := range cases {
 		kids = kids && termInterned(c.Pat) && termInterned(c.RHS)
 	}
-	return internTerm(t, kids)
+	return internTerm(&t, kids)
 }
 
 // NewMatch builds a match term (the interning constructor used by the
@@ -535,6 +764,7 @@ func finishForm(f *Form, kids bool) *Form {
 }
 
 func mkPred(name string, args []*Term) *Form {
+	h, h2, sig := computePredKey(name, args)
 	kids := true
 	for _, a := range args {
 		if !termInterned(a) {
@@ -542,7 +772,56 @@ func mkPred(name string, args []*Term) *Form {
 			break
 		}
 	}
-	return finishForm(&Form{Kind: FPred, Pred: name, Args: args}, kids)
+	return internPred(name, args, h, h2, sig, kids)
+}
+
+// internPred is internForm specialized to predicate atoms, mirroring
+// internApp: the argument slice never escapes.
+func internPred(name string, args []*Term, h, h2, sig uint64, kids bool) *Form {
+	if !kids || internOff.Load() {
+		n := &Form{Kind: FPred, Pred: name, hash: h, hash2: h2, varSig: sig}
+		if len(args) > 0 {
+			n.Args = append([]*Term(nil), args...)
+		}
+		return n
+	}
+	sh := &formArena[h&(arenaShards-1)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*Form)
+	}
+	for _, c := range sh.m[h] {
+		if samePredShallow(c, h2, name, args) {
+			sh.mu.Unlock()
+			internHits.Add(1)
+			return c
+		}
+	}
+	if len(sh.nodes) == cap(sh.nodes) {
+		sh.nodes = make([]Form, 0, nodeChunk)
+	}
+	sh.nodes = sh.nodes[:len(sh.nodes)+1]
+	n := &sh.nodes[len(sh.nodes)-1]
+	n.Kind, n.Pred = FPred, name
+	n.hash, n.hash2, n.varSig = h, h2, sig
+	n.Args = sh.copyArgs(args)
+	n.interned = true
+	sh.m[h] = append(sh.m[h], n)
+	sh.mu.Unlock()
+	internMisses.Add(1)
+	return n
+}
+
+func samePredShallow(c *Form, h2 uint64, name string, args []*Term) bool {
+	if c.hash2 != h2 || c.Kind != FPred || c.Pred != name || len(c.Args) != len(args) {
+		return false
+	}
+	for i := range args {
+		if c.Args[i] != args[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mkConn builds FNot (r must be nil) and the binary connectives.
@@ -573,8 +852,8 @@ func Quant(kind FormKind, binder string, bty *Type, body *Form) *Form {
 }
 
 func mkType(name string, args []*Type, tvar bool) *Type {
-	ty := &Type{Name: name, Args: args, TVar: tvar}
-	ty.hash, ty.hash2 = computeTypeKey(ty)
+	ty := Type{Name: name, Args: args, TVar: tvar}
+	ty.hash, ty.hash2 = computeTypeKey(&ty)
 	kids := true
 	for _, a := range args {
 		if !typeInterned(a) {
@@ -582,7 +861,7 @@ func mkType(name string, args []*Type, tvar bool) *Type {
 			break
 		}
 	}
-	return internType(ty, kids)
+	return internType(&ty, kids)
 }
 
 // MkType builds a type with an explicit TVar flag (used when rewriting
@@ -630,6 +909,14 @@ func (h *fpHash) WriteByte(c byte) error {
 // have identical keys; distinct formulas collide with probability ~2^-128.
 func (f *Form) FingerprintKey() [2]uint64 { return FingerprintKeySeeded(f, nil) }
 
+// fpRenPool recycles the walk's renaming map for unseeded calls. fingerprint
+// restores the map exactly around every binder, so a pooled map comes back
+// empty and needs no clearing. The map is boxed in a pointer struct so
+// Get/Put never allocate for the interface conversion.
+type fpRenScratch struct{ m map[string]string }
+
+var fpRenPool = sync.Pool{New: func() any { return &fpRenScratch{m: map[string]string{}} }}
+
 // FingerprintKeySeeded is FingerprintKey with free variables pre-renamed
 // through ren (name → replacement name). Seeding the walk's renaming map is
 // equivalent to substituting fresh variables first and fingerprinting after:
@@ -638,10 +925,13 @@ func (f *Form) FingerprintKey() [2]uint64 { return FingerprintKeySeeded(f, nil) 
 // as passed, so callers may reuse one map across calls.
 func FingerprintKeySeeded(f *Form, ren map[string]string) [2]uint64 {
 	h := newFPHash()
+	ctr := 0
 	if ren == nil {
-		f.fingerprint(&h, map[string]string{}, new(int))
+		rs := fpRenPool.Get().(*fpRenScratch)
+		f.fingerprint(&h, rs.m, &ctr)
+		fpRenPool.Put(rs)
 	} else {
-		f.fingerprint(&h, ren, new(int))
+		f.fingerprint(&h, ren, &ctr)
 	}
 	return [2]uint64{h.a, h.b}
 }

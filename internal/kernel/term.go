@@ -10,7 +10,6 @@
 package kernel
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -261,17 +260,21 @@ func (s Subst) Clone() Subst {
 // to match-pattern binders.
 //
 //hot:root
-func (t *Term) ApplySubst(s Subst) *Term {
+func (t *Term) ApplySubst(s Subst) *Term { return t.ApplySubstS(s, nil) }
+
+// ApplySubstS is ApplySubst drawing transient child-slice buffers from a
+// per-search scratch arena (sc may be nil; see Scratch).
+func (t *Term) ApplySubstS(s Subst, sc *Scratch) *Term {
 	if t == nil || len(s) == 0 {
 		return t
 	}
-	return t.applySubst(s, s.sig())
+	return t.applySubst(s, s.sig(), sc)
 }
 
 // applySubst threads the substitution's domain signature so subtrees whose
 // variable signature is disjoint from it are returned untouched without a
 // walk.
-func (t *Term) applySubst(s Subst, sig uint64) *Term {
+func (t *Term) applySubst(s Subst, sig uint64, sc *Scratch) *Term {
 	if t == nil {
 		return t
 	}
@@ -285,7 +288,7 @@ func (t *Term) applySubst(s Subst, sig uint64) *Term {
 		}
 		return t
 	case t.Match != nil:
-		cases := make([]MatchCase, len(t.Match.Cases))
+		cases := sc.Cases(len(t.Match.Cases))
 		changed := false
 		for i, c := range t.Match.Cases {
 			// Pattern variables shadow: remove them from the substitution
@@ -338,31 +341,34 @@ func (t *Term) applySubst(s Subst, sig uint64) *Term {
 				rhs = rhs.Rename(ren)
 			}
 			if needsTrim || captured {
-				cases[i] = MatchCase{Pat: pat, RHS: rhs.ApplySubst(inner)}
+				cases[i] = MatchCase{Pat: pat, RHS: rhs.ApplySubstS(inner, sc)}
 			} else {
-				cases[i] = MatchCase{Pat: pat, RHS: rhs.applySubst(s, sig)}
+				cases[i] = MatchCase{Pat: pat, RHS: rhs.applySubst(s, sig, sc)}
 			}
 			if cases[i] != c {
 				changed = true
 			}
 		}
-		scrut := t.Match.Scrut.applySubst(s, sig)
+		scrut := t.Match.Scrut.applySubst(s, sig, sc)
 		// Terms are immutable, so when nothing was substituted the original
 		// is returned as-is rather than rebuilt (here and in the app case
 		// below) — most substitutions touch only a small subtree.
 		if !changed && scrut == t.Match.Scrut {
+			sc.PutCases(cases)
 			return t
 		}
-		return mkMatch(scrut, cases)
+		r := mkMatch(scrut, cases)
+		sc.PutCases(cases)
+		return r
 	default:
 		if len(t.Args) == 0 {
 			return t
 		}
 		var args []*Term
 		for i, a := range t.Args {
-			na := a.applySubst(s, sig)
+			na := a.applySubst(s, sig, sc)
 			if na != a && args == nil {
-				args = make([]*Term, len(t.Args))
+				args = sc.Args(len(t.Args))
 				copy(args, t.Args[:i])
 			}
 			if args != nil {
@@ -372,7 +378,9 @@ func (t *Term) applySubst(s Subst, sig uint64) *Term {
 		if args == nil {
 			return t
 		}
-		return mkApp(t.Fun, args)
+		r := mkApp(t.Fun, args)
+		sc.PutArgs(args)
+		return r
 	}
 }
 
@@ -682,7 +690,7 @@ func FreshName(base string, used map[string]bool) string {
 		}
 	}
 	for i := start; ; i++ {
-		cand := fmt.Sprintf("%s%d", stem, i)
+		cand := stem + itoaSmall(i)
 		if !used[cand] {
 			used[cand] = true
 			return cand

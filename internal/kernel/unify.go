@@ -1,7 +1,5 @@
 package kernel
 
-import "fmt"
-
 // Meta variable names are ordinary variables listed in a "flexible" set.
 // Unification may bind flexible variables; all other variables are rigid.
 
@@ -12,7 +10,7 @@ type MetaCounter struct{ n int }
 // Fresh returns a new metavariable name derived from base.
 func (m *MetaCounter) Fresh(base string) string {
 	m.n++
-	return fmt.Sprintf("?%s%d", base, m.n)
+	return "?" + base + itoaSmall(m.n)
 }
 
 // IsMetaName reports whether a variable name is in the reserved
@@ -33,7 +31,11 @@ func Resolve(t *Term, sub Subst) *Term {
 }
 
 // FullResolve applies the substitution recursively to every subterm.
-func FullResolve(t *Term, sub Subst) *Term {
+func FullResolve(t *Term, sub Subst) *Term { return FullResolveS(t, sub, nil) }
+
+// FullResolveS is FullResolve with a scratch arena for the transient child
+// buffers (sc may be nil).
+func FullResolveS(t *Term, sub Subst, sc *Scratch) *Term {
 	if len(sub) == 0 {
 		return t
 	}
@@ -42,25 +44,32 @@ func FullResolve(t *Term, sub Subst) *Term {
 	case t == nil || t.Var != "":
 		return t
 	case t.Match != nil:
-		cases := make([]MatchCase, len(t.Match.Cases))
+		cases := sc.Cases(len(t.Match.Cases))
 		for i, c := range t.Match.Cases {
-			cases[i] = MatchCase{Pat: c.Pat, RHS: FullResolve(c.RHS, sub)}
+			cases[i] = MatchCase{Pat: c.Pat, RHS: FullResolveS(c.RHS, sub, sc)}
 		}
-		return mkMatch(FullResolve(t.Match.Scrut, sub), cases)
+		r := mkMatch(FullResolveS(t.Match.Scrut, sub, sc), cases)
+		sc.PutCases(cases)
+		return r
 	default:
 		if len(t.Args) == 0 {
 			return t
 		}
-		args := make([]*Term, len(t.Args))
+		args := sc.Args(len(t.Args))
 		for i, a := range t.Args {
-			args[i] = FullResolve(a, sub)
+			args[i] = FullResolveS(a, sub, sc)
 		}
-		return mkApp(t.Fun, args)
+		r := mkApp(t.Fun, args)
+		sc.PutArgs(args)
+		return r
 	}
 }
 
 // FullResolveForm applies the substitution recursively inside a formula.
-func FullResolveForm(f *Form, sub Subst) *Form {
+func FullResolveForm(f *Form, sub Subst) *Form { return FullResolveFormS(f, sub, nil) }
+
+// FullResolveFormS is FullResolveForm with a scratch arena (sc may be nil).
+func FullResolveFormS(f *Form, sub Subst, sc *Scratch) *Form {
 	if f == nil || len(sub) == 0 {
 		return f
 	}
@@ -68,19 +77,21 @@ func FullResolveForm(f *Form, sub Subst) *Form {
 	case FTrue, FFalse:
 		return f
 	case FEq:
-		return Eq(FullResolve(f.T1, sub), FullResolve(f.T2, sub))
+		return Eq(FullResolveS(f.T1, sub, sc), FullResolveS(f.T2, sub, sc))
 	case FPred:
-		args := make([]*Term, len(f.Args))
+		args := sc.Args(len(f.Args))
 		for i, a := range f.Args {
-			args[i] = FullResolve(a, sub)
+			args[i] = FullResolveS(a, sub, sc)
 		}
-		return mkPred(f.Pred, args)
+		r := mkPred(f.Pred, args)
+		sc.PutArgs(args)
+		return r
 	case FNot:
-		return Not(FullResolveForm(f.L, sub))
+		return Not(FullResolveFormS(f.L, sub, sc))
 	case FAnd, FOr, FImpl, FIff:
-		return mkConn(f.Kind, FullResolveForm(f.L, sub), FullResolveForm(f.R, sub))
+		return mkConn(f.Kind, FullResolveFormS(f.L, sub, sc), FullResolveFormS(f.R, sub, sc))
 	case FForall, FExists:
-		return mkQuant(f.Kind, f.Binder, f.BType, FullResolveForm(f.Body, sub))
+		return mkQuant(f.Kind, f.Binder, f.BType, FullResolveFormS(f.Body, sub, sc))
 	}
 	return f
 }
@@ -211,7 +222,7 @@ func UnifyForms(a, b *Form, flex map[string]bool, sub Subst) bool {
 	case FAnd, FOr, FImpl, FIff:
 		return UnifyForms(a.L, b.L, flex, sub) && UnifyForms(a.R, b.R, flex, sub)
 	case FForall, FExists:
-		fresh := fmt.Sprintf("!u%d", len(sub)+a.Size()+b.Size())
+		fresh := unifyFreshName(len(sub) + a.Size() + b.Size())
 		ab := a.Body.Subst1(a.Binder, V(fresh))
 		bb := b.Body.Subst1(b.Binder, V(fresh))
 		return UnifyForms(ab, bb, flex, sub)
@@ -230,21 +241,41 @@ func MatchTerm(pat, t *Term, flex map[string]bool, sub Subst) bool {
 // such that pat unifies with u binding only flex vars. It returns the
 // concrete matched subterm (fully resolved) and the extended substitution.
 func FindInstance(pat *Term, t *Term, flex map[string]bool, sub Subst) (*Term, Subst, bool) {
+	return FindInstanceS(pat, t, flex, sub, nil)
+}
+
+// FindInstanceS is FindInstance with a scratch arena: the speculative trial
+// substitution is a recycled map reset after each failed subterm instead of
+// a fresh clone per subterm. On success the trial map is returned to the
+// caller (ownership transfers out of the scratch); on failure it is
+// recycled.
+func FindInstanceS(pat *Term, t *Term, flex map[string]bool, sub Subst, sc *Scratch) (*Term, Subst, bool) {
 	var found *Term
 	var foundSub Subst
+	trial := sc.TrialSubst()
+	for k, v := range sub {
+		trial[k] = v
+	}
 	t.Subterms(func(u *Term) bool {
 		if u.Match != nil {
 			return true // skip binders inside match RHS (handled by Subterms walk)
 		}
-		trial := sub.Clone()
 		if UnifyTerms(pat, u, flex, trial) {
-			found = FullResolve(u, trial)
+			found = FullResolveS(u, trial, sc)
 			foundSub = trial
 			return false
+		}
+		// A failed attempt may have left partial bindings; reset to sub.
+		if len(trial) != len(sub) {
+			clear(trial)
+			for k, v := range sub {
+				trial[k] = v
+			}
 		}
 		return true
 	})
 	if found == nil {
+		sc.PutSubst(trial)
 		return nil, nil, false
 	}
 	return found, foundSub, true
@@ -252,6 +283,11 @@ func FindInstance(pat *Term, t *Term, flex map[string]bool, sub Subst) (*Term, S
 
 // FindInstanceForm searches all terms of a formula for an instance of pat.
 func FindInstanceForm(pat *Term, f *Form, flex map[string]bool, sub Subst) (*Term, Subst, bool) {
+	return FindInstanceFormS(pat, f, flex, sub, nil)
+}
+
+// FindInstanceFormS is FindInstanceForm with a scratch arena.
+func FindInstanceFormS(pat *Term, f *Form, flex map[string]bool, sub Subst, sc *Scratch) (*Term, Subst, bool) {
 	var found *Term
 	var foundSub Subst
 	var walk func(f *Form) bool
@@ -260,7 +296,7 @@ func FindInstanceForm(pat *Term, f *Form, flex map[string]bool, sub Subst) (*Ter
 			return true
 		}
 		tryTerm := func(t *Term) bool {
-			u, s, ok := FindInstance(pat, t, flex, sub)
+			u, s, ok := FindInstanceS(pat, t, flex, sub, sc)
 			if ok {
 				found, foundSub = u, s
 				return false

@@ -12,6 +12,7 @@ import (
 	"llmfscq/internal/prompt"
 	"llmfscq/internal/tactic"
 	"llmfscq/internal/textmetrics"
+	"sync"
 )
 
 // Candidate is one proposed next tactic with its log-probability (the
@@ -29,8 +30,13 @@ type Candidate struct {
 type Model struct {
 	Profile Profile
 	Env     *kernel.Env
-	retr    *retrIndex
-	norm    map[string]string // candidate text -> dedup key memo
+	// Retr, when set, shares retrieval indexes across the searches of a
+	// sweep (the runner owns one). A Model is per-search, but the index is
+	// a pure function of (prompt, n-gram, profile) — all pointer-stable
+	// across a runner — so rebuilding it per search only burned allocation.
+	Retr *RetrCache
+	retr *retrIndex
+	norm map[string]string // candidate text -> dedup key memo
 	// scoreParts caches the candidate-local terms of NGram.Score (the
 	// unigram and head-word components, which depend only on the candidate
 	// text); the prev-dependent bigram row is hoisted out of the candidate
@@ -43,13 +49,21 @@ type Model struct {
 	// Propose scratch space, reused across the queries of a search. The
 	// sweep spends most of its time in Propose, and per-query maps and
 	// slices were the dominant allocation source.
-	pool, uniq, jpool  []scored
-	slate              map[[2]uint64]*slateEntry
-	byText             map[string]int
-	goalSyms, hypSyms  map[string]bool
-	utils, probs, keys []float64
-	order              []int
-	out                []Candidate
+	pool, uniq, jpool []scored
+	slate             map[[2]uint64]*slateEntry
+	// byText indexes full-pool folds (slate-miss queries); overlay indexes
+	// only the per-query candidates layered over a memoized slate, so a
+	// memo-hit query clears a map holding a handful of entries instead of
+	// one sized for the whole pool.
+	byText, overlay   map[string]int
+	goalSyms, hypSyms map[string]bool
+	hypSymScratch     map[string]bool
+	// scoreBuf packs the softmax lanes (utilities | probabilities | Gumbel
+	// keys) into one struct-of-arrays buffer: a single grow per slate size
+	// instead of three, and the lanes stay on the same cache lines.
+	scoreBuf []float64
+	order    []int
+	out      []Candidate
 }
 
 // slateEntry is the memoized deterministic slate for one focused goal: the
@@ -108,6 +122,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	if m.norm == nil {
 		m.norm = map[string]string{}
 		m.byText = map[string]int{}
+		m.overlay = map[string]int{}
 	}
 	if m.slate == nil {
 		m.slate = map[[2]uint64]*slateEntry{}
@@ -115,12 +130,16 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	gk := goal.StrictKey()
 	ent, revisit := m.slate[gk]
 	var uniq []scored
-	clear(m.byText)
+	var over map[string]int
 	var base map[string]int
 	if ent != nil {
+		clear(m.overlay)
+		over = m.overlay
 		uniq = append(m.uniq[:0], ent.uniq...)
 		base = ent.byText
 	} else {
+		clear(m.byText)
+		over = m.byText
 		pool := m.structural(m.pool[:0], goal)
 		pool = m.retrieval(pool, p, goal, ng)
 		m.pool = pool
@@ -139,7 +158,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 			m.slate[gk] = nil
 			uniq = m.uniq[:0]
 			for _, c := range pool {
-				uniq = m.fold(uniq, m.byText, nil, c)
+				uniq = m.fold(uniq, over, nil, c)
 			}
 		}
 	}
@@ -150,15 +169,15 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// pool exactly, so slates are byte-identical to the memo-free path.
 	if ng != nil {
 		for _, cont := range ng.Continuations(prev, 3) {
-			uniq = m.fold(uniq, m.byText, base, scored{text: cont, h: 0.9})
+			uniq = m.fold(uniq, over, base, scored{text: cont, h: 0.9})
 		}
 		for _, pair := range ng.ContinuationPairs(prev, 3) {
-			uniq = m.fold(uniq, m.byText, base, scored{text: pair.Text, h: 1.1 + 0.25*math.Log1p(pair.Count)})
+			uniq = m.fold(uniq, over, base, scored{text: pair.Text, h: 1.1 + 0.25*math.Log1p(pair.Count)})
 		}
 	}
 	m.jpool = m.junk(m.jpool[:0], goal, p, rng)
 	for _, c := range m.jpool {
-		uniq = m.fold(uniq, m.byText, base, c)
+		uniq = m.fold(uniq, over, base, c)
 	}
 	m.uniq = uniq
 	if len(uniq) == 0 {
@@ -170,7 +189,8 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// a confident model emits duplicates, shrinking the effective search
 	// width — the reason the paper sees far more "stuck" than "fuelout".
 	prof := m.Profile
-	utils := resize(&m.utils, len(uniq))
+	lanes := resize(&m.scoreBuf, 3*len(uniq))
+	utils := lanes[:len(uniq):len(uniq)]
 	maxU := math.Inf(-1)
 	var biRow map[string]float64
 	scoreable := ng != nil && ng.total != 0
@@ -195,14 +215,20 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 		if scoreable {
 			pt, ok := m.scoreParts[c.text]
 			if !ok {
-				pt = scorePart{
-					u12: 0.12 * math.Log1p(ng.uni[c.text]),
-					h05: 0.05 * math.Log1p(ng.headUN[headOf(c.text)]),
+				// Log1p(0) is exactly 0, so the zero-count fast paths are
+				// bit-identical; most candidates miss the n-gram tables.
+				if n := ng.uni[c.text]; n != 0 {
+					pt.u12 = 0.12 * math.Log1p(n)
+				}
+				if n := ng.headUN[headOf(c.text)]; n != 0 {
+					pt.h05 = 0.05 * math.Log1p(n)
 				}
 				m.scoreParts[c.text] = pt
 			}
 			if biRow != nil {
-				g = 0.6 * math.Log1p(biRow[c.text])
+				if n := biRow[c.text]; n != 0 {
+					g = 0.6 * math.Log1p(n)
+				}
 			}
 			g += pt.u12
 			g += pt.h05
@@ -220,7 +246,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	if temp <= 0 {
 		temp = 0.01
 	}
-	probs := resize(&m.probs, len(uniq))
+	probs := lanes[len(uniq) : 2*len(uniq) : 2*len(uniq)]
 	var z float64
 	for i, u := range utils {
 		probs[i] = math.Exp((u - maxU) / temp)
@@ -233,7 +259,7 @@ func (m *Model) Propose(p *prompt.Prompt, st *tactic.State, path []string, ng *N
 	// confidence pruning then drops candidates far below the mode — a
 	// confident model's k samples concentrate and return fewer distinct
 	// tactics (why the paper sees more "stuck" than "fuelout").
-	keys := resize(&m.keys, len(uniq))
+	keys := lanes[2*len(uniq):]
 	for i, p := range probs {
 		keys[i] = math.Log(p) + gumbel(rng)
 	}
@@ -558,7 +584,7 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 	case kernel.FExists:
 		for _, v := range g.Vars {
 			if c.BType == nil || v.Type == nil || v.Type.Name == c.BType.Name {
-				add(fmt.Sprintf("exists %s.", v.Name), 1.5)
+				add("exists "+v.Name+".", 1.5)
 			}
 		}
 		add("exists 0.", 0.6)
@@ -569,7 +595,7 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 			add("econstructor.", 1.0)
 		}
 		if _, isDef := m.Env.Defs[c.Pred]; isDef {
-			add(fmt.Sprintf("unfold %s.", c.Pred), 1.8)
+			add("unfold "+c.Pred+".", 1.8)
 		}
 	}
 
@@ -599,25 +625,25 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 		case kernel.FFalse:
 			add("contradiction.", 3.0)
 		case kernel.FAnd, kernel.FExists, kernel.FOr:
-			add(fmt.Sprintf("destruct %s.", h.Name), 1.6)
-			add(fmt.Sprintf("inversion %s.", h.Name), 0.6)
+			add("destruct "+h.Name+".", 1.6)
+			add("inversion "+h.Name+".", 0.6)
 		case kernel.FIff:
-			add(fmt.Sprintf("destruct %s.", h.Name), 1.2)
+			add("destruct "+h.Name+".", 1.2)
 		case kernel.FEq:
 			if h.Form.T1.IsVar() || h.Form.T2.IsVar() {
 				substUseful = true
 			}
-			add(fmt.Sprintf("rewrite %s.", h.Name), 1.1)
-			add(fmt.Sprintf("rewrite <- %s.", h.Name), 0.5)
-			add(fmt.Sprintf("rewrite %s in *.", h.Name), 0.1) // unsupported form: realistic junk
+			add("rewrite "+h.Name+".", 1.1)
+			add("rewrite <- "+h.Name+".", 0.5)
+			add("rewrite "+h.Name+" in *.", 0.1) // unsupported form: realistic junk
 			if h.Form.T1.IsApp() && h.Form.T2.IsApp() && m.Env.IsConstructor(h.Form.T1.Fun) && m.Env.IsConstructor(h.Form.T2.Fun) {
 				if h.Form.T1.Fun != h.Form.T2.Fun {
-					add(fmt.Sprintf("discriminate %s.", h.Name), 2.6)
+					add("discriminate "+h.Name+".", 2.6)
 				} else {
-					add(fmt.Sprintf("inversion %s.", h.Name), 1.6)
+					add("inversion "+h.Name+".", 1.6)
 				}
 			}
-			add(fmt.Sprintf("simpl in %s.", h.Name), 0.5)
+			add("simpl in "+h.Name+".", 0.5)
 		case kernel.FPred:
 			if _, isInd := m.Env.Preds[h.Form.Pred]; isInd {
 				w := 1.0
@@ -627,19 +653,19 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 						break
 					}
 				}
-				add(fmt.Sprintf("inversion %s.", h.Name), w)
-				add(fmt.Sprintf("induction %s.", h.Name), 0.8)
+				add("inversion "+h.Name+".", w)
+				add("induction "+h.Name+".", 0.8)
 			}
 			if _, isDef := m.Env.Defs[h.Form.Pred]; isDef {
-				add(fmt.Sprintf("unfold %s in %s.", h.Form.Pred, h.Name), 1.4)
+				add("unfold "+h.Form.Pred+" in "+h.Name+".", 1.4)
 			}
-			add(fmt.Sprintf("simpl in %s.", h.Name), 0.4)
+			add("simpl in "+h.Name+".", 0.4)
 		case kernel.FForall, kernel.FImpl:
 			if conclHead(h.Form) == gh {
-				add(fmt.Sprintf("apply %s.", h.Name), 1.9)
-				add(fmt.Sprintf("eapply %s.", h.Name), 1.1)
+				add("apply "+h.Name+".", 1.9)
+				add("eapply "+h.Name+".", 1.1)
 			} else {
-				add(fmt.Sprintf("apply %s.", h.Name), 0.5)
+				add("apply "+h.Name+".", 0.5)
 			}
 			// Quantified equations (induction hypotheses above all) are
 			// rewriting material.
@@ -648,12 +674,12 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 				if strings.HasPrefix(h.Name, "IH") {
 					w = 2.1
 				}
-				add(fmt.Sprintf("rewrite %s.", h.Name), w)
-				add(fmt.Sprintf("rewrite <- %s.", h.Name), 0.4*w)
+				add("rewrite "+h.Name+".", w)
+				add("rewrite <- "+h.Name+".", 0.4*w)
 			}
 		case kernel.FNot:
 			if c.Kind == kernel.FFalse {
-				add(fmt.Sprintf("apply %s.", h.Name), 2.0)
+				add("apply "+h.Name+".", 2.0)
 			}
 		}
 		if h.Form.FingerprintKey() == c.FingerprintKey() {
@@ -677,13 +703,13 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 		}
 		switch {
 		case recArgs[v.Name]:
-			add(fmt.Sprintf("induction %s.", v.Name), 2.2)
-			add(fmt.Sprintf("destruct %s.", v.Name), 1.0)
+			add("induction "+v.Name+".", 2.2)
+			add("destruct "+v.Name+".", 1.0)
 		case goalVars[v.Name]:
-			add(fmt.Sprintf("induction %s.", v.Name), 1.1)
-			add(fmt.Sprintf("destruct %s.", v.Name), 0.9)
+			add("induction "+v.Name+".", 1.1)
+			add("destruct "+v.Name+".", 0.9)
 		default:
-			add(fmt.Sprintf("destruct %s.", v.Name), 0.1)
+			add("destruct "+v.Name+".", 0.1)
 		}
 	}
 	// Induction on a not-yet-introduced leading binder (skipping type
@@ -697,7 +723,7 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 				if recArgs[body.Binder] {
 					w = 2.0
 				}
-				add(fmt.Sprintf("induction %s.", body.Binder), w)
+				add("induction "+body.Binder+".", w)
 				seen++
 			}
 			body = body.Body
@@ -717,11 +743,11 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 	// Stuck matches invite case analysis on the scrutinee (the
 	// `destruct (eqb a n) eqn:He` idiom).
 	for _, scrut := range stuckScrutinees(c, 2) {
-		add(fmt.Sprintf("destruct (%s) eqn:He.", scrut), 2.0)
+		add("destruct ("+scrut+") eqn:He.", 2.0)
 	}
 	for _, h := range g.Hyps {
 		for _, scrut := range stuckScrutinees(h.Form, 1) {
-			add(fmt.Sprintf("destruct (%s) eqn:He.", scrut), 1.3)
+			add("destruct ("+scrut+") eqn:He.", 1.3)
 		}
 	}
 
@@ -733,14 +759,14 @@ func (m *Model) structural(out []scored, g *tactic.Goal) []scored {
 		}
 		lhs := e.Form.T1
 		if formContainsTerm(c, lhs) {
-			add(fmt.Sprintf("rewrite %s.", e.Name), 2.0)
+			add("rewrite "+e.Name+".", 2.0)
 		}
 		for _, h := range g.Hyps {
 			if h.Name == e.Name {
 				continue
 			}
 			if formContainsTerm(h.Form, lhs) {
-				add(fmt.Sprintf("rewrite %s in %s.", e.Name, h.Name), 1.8)
+				add("rewrite "+e.Name+" in "+h.Name+".", 1.8)
 			}
 		}
 	}
@@ -905,11 +931,38 @@ type retrIndex struct {
 	lems   []lemRecord
 }
 
+// RetrCache shares immutable retrieval indexes across searches. Entries are
+// read-only after construction and the build is deterministic, so a racing
+// duplicate build stores an identical index; results cannot depend on which
+// one wins.
+type RetrCache struct{ m sync.Map } // retrCacheKey -> []lemRecord
+
+// NewRetrCache builds an empty shared retrieval-index cache.
+func NewRetrCache() *RetrCache { return &RetrCache{} }
+
+// retrCacheKey keys a shared index. The profile name stands in for the
+// profile's retrieval parameters (skill, distraction half-life), which are
+// fixed per named profile.
+type retrCacheKey struct {
+	prompt  *prompt.Prompt
+	ng      *NGram
+	profile string
+}
+
 // retrIndexFor returns the per-prompt retrieval index, rebuilding it only
 // when the (prompt, n-gram) pair changes.
 func (m *Model) retrIndexFor(p *prompt.Prompt, ng *NGram) []lemRecord {
 	if m.retr != nil && m.retr.prompt == p && m.retr.ng == ng {
 		return m.retr.lems
+	}
+	var ck retrCacheKey
+	if m.Retr != nil {
+		ck = retrCacheKey{prompt: p, ng: ng, profile: m.Profile.Name}
+		if v, ok := m.Retr.m.Load(ck); ok {
+			lems := v.([]lemRecord)
+			m.retr = &retrIndex{prompt: p, ng: ng, lems: lems}
+			return lems
+		}
 	}
 	prof := m.Profile
 	n := len(p.Items)
@@ -951,6 +1004,11 @@ func (m *Model) retrIndexFor(p *prompt.Prompt, ng *NGram) []lemRecord {
 			rec.premHead = goalHead(stripQuant(prems[0]))
 		}
 		lems = append(lems, rec)
+	}
+	if m.Retr != nil {
+		if v, loaded := m.Retr.m.LoadOrStore(ck, lems); loaded {
+			lems = v.([]lemRecord)
+		}
 	}
 	m.retr = &retrIndex{prompt: p, ng: ng, lems: lems}
 	return lems
@@ -994,11 +1052,14 @@ func (m *Model) retrieval(out []scored, p *prompt.Prompt, g *tactic.Goal, ng *NG
 			out = append(out, scored{text: rec.rewrite, r: w})
 			out = append(out, scored{text: rec.rewriteRev, r: 0.4 * w})
 			if rec.lhsHead != "" && hypSyms[rec.lhsHead] {
+				if m.hypSymScratch == nil {
+					m.hypSymScratch = map[string]bool{}
+				}
 				for _, h := range g.Hyps {
-					hs := map[string]bool{}
-					symbolsOf(h.Form, hs)
-					if hs[rec.lhsHead] {
-						out = append(out, scored{text: fmt.Sprintf("rewrite %s in %s.", rec.name, h.Name), r: 0.8 * w})
+					clear(m.hypSymScratch)
+					symbolsOf(h.Form, m.hypSymScratch)
+					if m.hypSymScratch[rec.lhsHead] {
+						out = append(out, scored{text: "rewrite " + rec.name + " in " + h.Name + ".", r: 0.8 * w})
 						break
 					}
 				}
@@ -1017,7 +1078,7 @@ func (m *Model) retrieval(out []scored, p *prompt.Prompt, g *tactic.Goal, ng *NG
 		if rec.hasPrems && rec.premHead != "?" {
 			for _, h := range g.Hyps {
 				if goalHead(h.Form) == rec.premHead {
-					out = append(out, scored{text: fmt.Sprintf("apply %s in %s.", rec.name, h.Name), r: 0.5 * rel})
+					out = append(out, scored{text: "apply " + rec.name + " in " + h.Name + ".", r: 0.5 * rel})
 					break
 				}
 			}
@@ -1041,6 +1102,15 @@ var junkTactics = []string{
 	"intuition.", "easy.", "now auto.", "simpl in *.",
 }
 
+// junkHypApply pre-renders the "apply H<d>." junk family.
+var junkHypApply = func() [9]string {
+	var t [9]string
+	for i := range t {
+		t[i] = fmt.Sprintf("apply H%d.", i)
+	}
+	return t
+}()
+
 func (m *Model) junk(out []scored, g *tactic.Goal, p *prompt.Prompt, rng *rand.Rand) []scored {
 	prof := m.Profile
 	nJunk := int(math.Round(prof.NoiseRate * 10))
@@ -1053,15 +1123,15 @@ func (m *Model) junk(out []scored, g *tactic.Goal, p *prompt.Prompt, rng *rand.R
 		case 1:
 			// Apply a random visible lemma regardless of relevance.
 			if name := randomLemma(p, rng); name != "" {
-				out = append(out, scored{text: fmt.Sprintf("apply %s.", name), j: u})
+				out = append(out, scored{text: "apply " + name + ".", j: u})
 			}
 		case 2:
 			if name := randomLemma(p, rng); name != "" {
-				out = append(out, scored{text: fmt.Sprintf("rewrite %s.", name), j: u})
+				out = append(out, scored{text: "rewrite " + name + ".", j: u})
 			}
 		default:
 			// Reference a plausible but possibly absent hypothesis.
-			out = append(out, scored{text: fmt.Sprintf("apply H%d.", rng.Intn(9)), j: u})
+			out = append(out, scored{text: junkHypApply[rng.Intn(9)], j: u})
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package tactic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"llmfscq/internal/kernel"
 )
@@ -67,6 +68,35 @@ func instantiateAll(stmt *kernel.Form, mc *kernel.MetaCounter) []instantiated {
 	}
 }
 
+// instMemo caches instantiations by canonical statement pointer. Safe
+// because the instantiation list is a pure function of the statement when
+// the MetaCounter starts fresh (metavariable names are then determined by
+// binder order alone), and every consumer treats the result as read-only:
+// flex maps are only read by unification, and prems/concl/metas are never
+// written through. auto cannot use this memo — its resolver threads one
+// counter across the whole resolution so repeated uses of a lemma get
+// distinct metavariables.
+var instMemo sync.Map // *kernel.Form -> []instantiated
+
+// instantiations is instantiateAll with a fresh MetaCounter, memoized on
+// interned statements (interned pointers are canonical, so the key is the
+// statement's identity; non-interned statements fall back to recomputing).
+func instantiations(stmt *kernel.Form) []instantiated {
+	if stmt.Interned() {
+		if v, ok := instMemo.Load(stmt); ok {
+			return v.([]instantiated)
+		}
+	}
+	var mc kernel.MetaCounter
+	insts := instantiateAll(stmt, &mc)
+	if stmt.Interned() {
+		if v, loaded := instMemo.LoadOrStore(stmt, insts); loaded {
+			return v.([]instantiated)
+		}
+	}
+	return insts
+}
+
 // lookupStmt resolves a name to a hypothesis or lemma statement.
 func lookupStmt(env *kernel.Env, g *Goal, name string) (*kernel.Form, error) {
 	if h, ok := g.HypNamed(name); ok {
@@ -82,9 +112,9 @@ func lookupStmt(env *kernel.Env, g *Goal, name string) (*kernel.Form, error) {
 }
 
 // metasResolved checks that every meta resolves to a meta-free term.
-func metasResolved(inst instantiated, sub kernel.Subst) bool {
+func metasResolved(inst instantiated, sub kernel.Subst, sc *kernel.Scratch) bool {
 	for _, m := range inst.metas {
-		t := kernel.FullResolve(kernel.V(m), sub)
+		t := kernel.FullResolveS(kernel.V(m), sub, sc)
 		if t.IsVar() && inst.flex[t.Var] {
 			return false
 		}
@@ -107,18 +137,20 @@ func metasResolved(inst instantiated, sub kernel.Subst) bool {
 // unifying under-determined premises against hypotheses, in order. This is
 // the eapply/econstructor approximation: existentials may not escape a
 // single tactic, so they must be fixed by some hypothesis.
-func resolvePremsWithHyps(g *Goal, inst instantiated, sub kernel.Subst) kernel.Subst {
+func resolvePremsWithHyps(g *Goal, inst instantiated, sub kernel.Subst, sc *kernel.Scratch) kernel.Subst {
 	for _, prem := range inst.prems {
-		p := kernel.FullResolveForm(prem, sub)
+		p := kernel.FullResolveFormS(prem, sub, sc)
 		if !formHasMeta(p, inst.flex) {
 			continue
 		}
 		for _, h := range g.Hyps {
-			trial := sub.Clone()
+			trial := sc.TrialSubst()
+			copySub(trial, sub)
 			if kernel.UnifyForms(p, h.Form, inst.flex, trial) {
 				sub = trial
 				break
 			}
+			sc.PutSubst(trial)
 		}
 	}
 	return sub
@@ -133,7 +165,7 @@ func formHasMeta(f *kernel.Form, flex map[string]bool) bool {
 	return false
 }
 
-func tacApply(env *kernel.Env, g *Goal, c Call, eapply bool) ([]*Goal, error) {
+func tacApply(env *kernel.Env, g *Goal, c Call, eapply bool, sc *kernel.Scratch) ([]*Goal, error) {
 	if len(c.Idents) == 0 {
 		return nil, errors.New("tactic: apply expects a name")
 	}
@@ -143,21 +175,25 @@ func tacApply(env *kernel.Env, g *Goal, c Call, eapply bool) ([]*Goal, error) {
 		return nil, err
 	}
 	if c.InHyp != "" {
-		return applyInHyp(env, g, stmt, c.InHyp)
+		return applyInHyp(env, g, stmt, c.InHyp, sc)
 	}
-	var mc kernel.MetaCounter
-	candidates := instantiateAll(stmt, &mc)
+	candidates := instantiations(stmt)
 	var inst instantiated
-	sub := kernel.Subst{}
+	var sub kernel.Subst
 	matched := false
+	trial := sc.TrialSubst()
 	for i := len(candidates) - 1; i >= 0; i-- {
-		trial := kernel.Subst{}
 		if kernel.UnifyForms(candidates[i].concl, g.Concl, candidates[i].flex, trial) {
+			// trial's ownership transfers to sub; it is never recycled.
 			inst, sub, matched = candidates[i], trial, true
 			break
 		}
+		if len(trial) > 0 {
+			clear(trial)
+		}
 	}
 	if !matched {
+		sc.PutSubst(trial)
 		return nil, errors.New("tactic: cannot unify lemma conclusion with the goal")
 	}
 	// `apply L with t ...`: positional instantiation of the metavariables
@@ -183,9 +219,9 @@ func tacApply(env *kernel.Env, g *Goal, c Call, eapply bool) ([]*Goal, error) {
 		}
 	}
 	if eapply {
-		sub = resolvePremsWithHyps(g, inst, sub)
+		sub = resolvePremsWithHyps(g, inst, sub, sc)
 	}
-	if !metasResolved(inst, sub) {
+	if !metasResolved(inst, sub, sc) {
 		if eapply {
 			return nil, errors.New("tactic: cannot determine existential instances")
 		}
@@ -194,56 +230,59 @@ func tacApply(env *kernel.Env, g *Goal, c Call, eapply bool) ([]*Goal, error) {
 	out := make([]*Goal, 0, len(inst.prems))
 	for _, prem := range inst.prems {
 		ng := g.Clone()
-		ng.Concl = kernel.FullResolveForm(prem, sub)
+		ng.Concl = kernel.FullResolveFormS(prem, sub, sc)
 		out = append(out, ng)
 	}
 	return out, nil
 }
 
 // applyInHyp is `apply L in H`: forward chaining.
-func applyInHyp(env *kernel.Env, g *Goal, stmt *kernel.Form, hname string) ([]*Goal, error) {
+func applyInHyp(env *kernel.Env, g *Goal, stmt *kernel.Form, hname string, sc *kernel.Scratch) ([]*Goal, error) {
 	h, ok := g.HypNamed(hname)
 	if !ok {
 		return nil, fmt.Errorf("tactic: no hypothesis %q", hname)
 	}
-	var mc kernel.MetaCounter
-	candidates := instantiateAll(stmt, &mc)
+	candidates := instantiations(stmt)
 	// Use the least-stripped instantiation with exactly one premise: H is
 	// matched against the lemma's first premise and replaced by everything
 	// after it (Coq does not unfold `~` past the first premise here).
 	var inst instantiated
-	sub := kernel.Subst{}
+	var sub kernel.Subst
 	matched := false
+	trial := sc.TrialSubst()
 	for _, cand := range candidates {
 		if len(cand.prems) == 0 {
 			continue
 		}
-		trial := kernel.Subst{}
 		if kernel.UnifyForms(cand.prems[0], h.Form, cand.flex, trial) {
 			inst, sub, matched = cand, trial, true
 			break
 		}
+		if len(trial) > 0 {
+			clear(trial)
+		}
 	}
 	if !matched {
+		sc.PutSubst(trial)
 		if len(candidates[len(candidates)-1].prems) == 0 {
 			return nil, errors.New("tactic: lemma has no premise to match the hypothesis")
 		}
 		return nil, errors.New("tactic: cannot unify lemma premise with the hypothesis")
 	}
-	if !metasResolved(inst, sub) {
+	if !metasResolved(inst, sub, sc) {
 		return nil, errors.New("tactic: cannot infer instantiation for apply ... in")
 	}
-	main := g.ReplaceHyp(hname, kernel.FullResolveForm(inst.concl, sub))
+	main := g.ReplaceHyp(hname, kernel.FullResolveFormS(inst.concl, sub, sc))
 	out := []*Goal{main}
 	for _, prem := range inst.prems[1:] {
 		ng := g.Clone()
-		ng.Concl = kernel.FullResolveForm(prem, sub)
+		ng.Concl = kernel.FullResolveFormS(prem, sub, sc)
 		out = append(out, ng)
 	}
 	return out, nil
 }
 
-func tacConstructor(env *kernel.Env, g *Goal, econ bool) ([]*Goal, error) {
+func tacConstructor(env *kernel.Env, g *Goal, econ bool, sc *kernel.Scratch) ([]*Goal, error) {
 	switch g.Concl.Kind {
 	case kernel.FTrue:
 		return nil, nil
@@ -263,7 +302,7 @@ func tacConstructor(env *kernel.Env, g *Goal, econ bool) ([]*Goal, error) {
 		var firstErr error
 		for i := range p.Rules {
 			r := &p.Rules[i]
-			out, err := applyRule(env, g, r, econ)
+			out, err := applyRule(env, g, r, econ, sc)
 			if err == nil {
 				return out, nil
 			}
@@ -279,23 +318,24 @@ func tacConstructor(env *kernel.Env, g *Goal, econ bool) ([]*Goal, error) {
 	return nil, errors.New("tactic: goal has no constructors")
 }
 
-func applyRule(env *kernel.Env, g *Goal, r *kernel.Rule, econ bool) ([]*Goal, error) {
-	var mc kernel.MetaCounter
-	inst := instantiate(r.Statement(), &mc)
-	sub := kernel.Subst{}
+func applyRule(env *kernel.Env, g *Goal, r *kernel.Rule, econ bool, sc *kernel.Scratch) ([]*Goal, error) {
+	insts := instantiations(r.Statement())
+	inst := insts[len(insts)-1]
+	sub := sc.TrialSubst()
 	if !kernel.UnifyForms(inst.concl, g.Concl, inst.flex, sub) {
+		sc.PutSubst(sub)
 		return nil, fmt.Errorf("tactic: constructor %s does not match", r.Name)
 	}
 	if econ {
-		sub = resolvePremsWithHyps(g, inst, sub)
+		sub = resolvePremsWithHyps(g, inst, sub, sc)
 	}
-	if !metasResolved(inst, sub) {
+	if !metasResolved(inst, sub, sc) {
 		return nil, fmt.Errorf("tactic: constructor %s leaves undetermined instances", r.Name)
 	}
 	out := make([]*Goal, 0, len(inst.prems))
 	for _, prem := range inst.prems {
 		ng := g.Clone()
-		ng.Concl = kernel.FullResolveForm(prem, sub)
+		ng.Concl = kernel.FullResolveFormS(prem, sub, sc)
 		out = append(out, ng)
 	}
 	return out, nil

@@ -19,11 +19,11 @@ const autoNodeBudget = 20000
 // every lemma instantiation to be fully determined by conclusion
 // unification; eauto threads undetermined metavariables through subsequent
 // subgoals (proper resolution with backtracking).
-func tacAuto(env *kernel.Env, g *Goal, depth int, eauto bool) ([]*Goal, error) {
+func tacAuto(env *kernel.Env, g *Goal, depth int, eauto bool, sc *kernel.Scratch) ([]*Goal, error) {
 	if depth < 0 {
 		depth = autoDefaultDepth
 	}
-	r := &resolver{env: env, eauto: eauto, nodes: autoNodeBudget, ev: kernel.NewEvaluator(env), hints: hintsFor(env)}
+	r := &resolver{env: env, eauto: eauto, nodes: autoNodeBudget, ev: kernel.NewEvaluator(env), hints: hintsFor(env), sc: sc}
 	hyps := make([]*kernel.Form, len(g.Hyps))
 	for i, h := range g.Hyps {
 		hyps[i] = h.Form
@@ -51,7 +51,17 @@ type resolver struct {
 	mc    kernel.MetaCounter
 	rig   int // rigid fresh-variable counter
 	ev    *kernel.Evaluator
-	hints []hintEntry // the hint database, resolved once per auto call
+	hints []hintEntry     // the hint database, resolved once per auto call
+	sc    *kernel.Scratch // trial-substitution recycling (nil ok)
+}
+
+// cloneTrial takes a recycled trial substitution seeded with sub's bindings.
+// Trials that fail — or whose bindings have been merged back with copySub —
+// are dead and go back via r.sc.PutSubst.
+func (r *resolver) cloneTrial(sub kernel.Subst) kernel.Subst {
+	trial := r.sc.TrialSubst()
+	copySub(trial, sub)
+	return trial
 }
 
 // hintEntry is one resolved hint statement with its precomputed
@@ -151,7 +161,7 @@ func (r *resolver) solve(goals []rgoal, depth int, flex map[string]bool, sub ker
 	}
 	g := goals[0]
 	rest := goals[1:]
-	concl := kernel.FullResolveForm(g.concl, sub)
+	concl := kernel.FullResolveFormS(g.concl, sub, r.sc)
 
 	switch concl.Kind {
 	case kernel.FTrue:
@@ -174,11 +184,13 @@ func (r *resolver) solve(goals []rgoal, depth int, flex map[string]bool, sub ker
 		gs := append([]rgoal{{hyps: g.hyps, concl: concl.L}, {hyps: g.hyps, concl: concl.R}}, rest...)
 		return r.solve(gs, depth, flex, sub)
 	case kernel.FOr:
-		trial := sub.Clone()
+		trial := r.cloneTrial(sub)
 		if r.solve(append([]rgoal{{hyps: g.hyps, concl: concl.L}}, rest...), depth, flex, trial) {
 			copySub(sub, trial)
+			r.sc.PutSubst(trial)
 			return true
 		}
+		r.sc.PutSubst(trial)
 		return r.solve(append([]rgoal{{hyps: g.hyps, concl: concl.R}}, rest...), depth, flex, sub)
 	case kernel.FExists:
 		if !r.eauto {
@@ -192,29 +204,35 @@ func (r *resolver) solve(goals []rgoal, depth int, flex map[string]bool, sub ker
 
 	// Equality: try unification (and convertibility for ground sides).
 	if concl.Kind == kernel.FEq {
-		trial := sub.Clone()
+		trial := r.cloneTrial(sub)
 		if kernel.UnifyTerms(concl.T1, concl.T2, flex, trial) && r.solve(rest, depth, flex, trial) {
 			copySub(sub, trial)
+			r.sc.PutSubst(trial)
 			return true
 		}
+		r.sc.PutSubst(trial)
 		if t1, err := r.ev.Normalize(concl.T1); err == nil {
 			if t2, err := r.ev.Normalize(concl.T2); err == nil {
-				trial := sub.Clone()
+				trial := r.cloneTrial(sub)
 				if kernel.UnifyTerms(t1, t2, flex, trial) && r.solve(rest, depth, flex, trial) {
 					copySub(sub, trial)
+					r.sc.PutSubst(trial)
 					return true
 				}
+				r.sc.PutSubst(trial)
 			}
 		}
 	}
 
 	// Assumption: unify against each hypothesis.
 	for _, h := range g.hyps {
-		trial := sub.Clone()
+		trial := r.cloneTrial(sub)
 		if kernel.UnifyForms(h, concl, flex, trial) && r.solve(rest, depth, flex, trial) {
 			copySub(sub, trial)
+			r.sc.PutSubst(trial)
 			return true
 		}
+		r.sc.PutSubst(trial)
 	}
 
 	if depth <= 0 {
@@ -259,11 +277,13 @@ func (r *resolver) tryLemma(stmt *kernel.Form, key string, g rgoal, rest []rgoal
 	for m := range inst.flex {
 		flex[m] = true
 	}
-	trial := sub.Clone()
+	trial := r.cloneTrial(sub)
 	if !kernel.UnifyForms(inst.concl, concl, flex, trial) {
+		r.sc.PutSubst(trial)
 		return false
 	}
-	if !r.eauto && !metasResolved(inst, trial) {
+	if !r.eauto && !metasResolved(inst, trial, r.sc) {
+		r.sc.PutSubst(trial)
 		return false
 	}
 	newGoals := make([]rgoal, 0, len(inst.prems)+len(rest))
@@ -273,8 +293,10 @@ func (r *resolver) tryLemma(stmt *kernel.Form, key string, g rgoal, rest []rgoal
 	newGoals = append(newGoals, rest...)
 	if r.solve(newGoals, depth-1, flex, trial) {
 		copySub(sub, trial)
+		r.sc.PutSubst(trial)
 		return true
 	}
+	r.sc.PutSubst(trial)
 	return false
 }
 

@@ -23,11 +23,17 @@ const maxRepeat = 64
 
 // Apply runs a tactic expression against the focused goal of the state and
 // returns the successor state. The input state is never mutated.
-func Apply(s *State, e Expr) (*State, error) {
+func Apply(s *State, e Expr) (*State, error) { return ApplyS(s, e, nil) }
+
+// ApplyS is Apply with a per-search scratch arena for the transient buffers
+// of the unification/substitution inner loop (sc may be nil). Nothing a
+// tactic returns aliases scratch memory, so one Scratch may be reused across
+// every sentence a search worker executes.
+func ApplyS(s *State, e Expr, sc *kernel.Scratch) (*State, error) {
 	if s.Done() {
 		return nil, errors.New("tactic: no goals remaining")
 	}
-	subgoals, err := applyExpr(s.Env, s.Goals[0], e)
+	subgoals, err := applyExpr(s.Env, s.Goals[0], e, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +58,11 @@ var parseMemo sync.Map // string -> parsed
 // ApplySentence parses one tactic sentence (memoized — the search executes
 // the same few sentences against many states) and applies it.
 func ApplySentence(s *State, sentence string) (*State, error) {
+	return ApplySentenceS(s, sentence, nil)
+}
+
+// ApplySentenceS is ApplySentence with a scratch arena (sc may be nil).
+func ApplySentenceS(s *State, sentence string, sc *kernel.Scratch) (*State, error) {
 	var p parsed
 	if v, ok := parseMemo.Load(sentence); ok {
 		p = v.(parsed)
@@ -62,7 +73,7 @@ func ApplySentence(s *State, sentence string) (*State, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
-	return Apply(s, p.e)
+	return ApplyS(s, p.e, sc)
 }
 
 // RunScript checks a whole proof script against stmt, sentence by sentence.
@@ -98,10 +109,10 @@ func CheckProof(env *kernel.Env, stmt *kernel.Form, script string) error {
 	return nil
 }
 
-func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
+func applyExpr(env *kernel.Env, g *Goal, e Expr, sc *kernel.Scratch) ([]*Goal, error) {
 	switch t := e.(type) {
 	case Seq:
-		firsts, err := applyExpr(env, g, t.First)
+		firsts, err := applyExpr(env, g, t.First, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +120,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		// common final size.
 		out := make([]*Goal, 0, len(firsts))
 		for _, sub := range firsts {
-			next, err := applyExpr(env, sub, t.Then)
+			next, err := applyExpr(env, sub, t.Then, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +128,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		}
 		return out, nil
 	case Dispatch:
-		firsts, err := applyExpr(env, g, t.First)
+		firsts, err := applyExpr(env, g, t.First, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +141,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 				out = append(out, sub)
 				continue
 			}
-			next, err := applyExpr(env, sub, t.Branches[i])
+			next, err := applyExpr(env, sub, t.Branches[i], sc)
 			if err != nil {
 				return nil, err
 			}
@@ -138,12 +149,12 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		}
 		return out, nil
 	case Alt:
-		if out, err := applyExpr(env, g, t.A); err == nil {
+		if out, err := applyExpr(env, g, t.A, sc); err == nil {
 			return out, nil
 		}
-		return applyExpr(env, g, t.B)
+		return applyExpr(env, g, t.B, sc)
 	case Try:
-		out, err := applyExpr(env, g, t.T)
+		out, err := applyExpr(env, g, t.T, sc)
 		if err != nil {
 			return []*Goal{g}, nil
 		}
@@ -154,7 +165,7 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 			progressed := false
 			next := make([]*Goal, 0, len(cur))
 			for _, sub := range cur {
-				res, err := applyExpr(env, sub, t.T)
+				res, err := applyExpr(env, sub, t.T, sc)
 				if err != nil {
 					next = append(next, sub)
 					continue
@@ -173,12 +184,12 @@ func applyExpr(env *kernel.Env, g *Goal, e Expr) ([]*Goal, error) {
 		}
 		return cur, nil
 	case Call:
-		return applyCall(env, g, t)
+		return applyCall(env, g, t, sc)
 	}
 	return nil, fmt.Errorf("tactic: unknown expression %T", e)
 }
 
-func applyCall(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
+func applyCall(env *kernel.Env, g *Goal, c Call, sc *kernel.Scratch) ([]*Goal, error) {
 	switch c.Name {
 	case "idtac":
 		return []*Goal{g}, nil
@@ -196,7 +207,7 @@ func applyCall(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
 		if len(c.Idents) != 1 {
 			return nil, errors.New("tactic: exact expects one name")
 		}
-		return tacExact(env, g, c.Idents[0])
+		return tacExact(env, g, c.Idents[0], sc)
 	case "split":
 		return tacSplit(env, g)
 	case "left":
@@ -250,30 +261,30 @@ func applyCall(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
 		}
 		return tacSpecialize(env, g, c.Idents[0], c.Terms)
 	case "apply":
-		return tacApply(env, g, c, false)
+		return tacApply(env, g, c, false, sc)
 	case "eapply":
-		return tacApply(env, g, c, true)
+		return tacApply(env, g, c, true, sc)
 	case "constructor":
-		return tacConstructor(env, g, false)
+		return tacConstructor(env, g, false, sc)
 	case "econstructor":
-		return tacConstructor(env, g, true)
+		return tacConstructor(env, g, true, sc)
 	case "destruct":
 		return tacDestruct(env, g, c)
 	case "induction":
 		return tacInduction(env, g, c)
 	case "rewrite":
-		return tacRewrite(env, g, c)
+		return tacRewrite(env, g, c, sc)
 	case "inversion", "inversion_clear":
 		if len(c.Idents) != 1 {
 			return nil, errors.New("tactic: inversion expects a hypothesis name")
 		}
 		return tacInversion(env, g, c.Idents[0], c.Name == "inversion_clear")
 	case "auto":
-		return tacAuto(env, g, c.Num, false)
+		return tacAuto(env, g, c.Num, false, sc)
 	case "eauto":
-		return tacAuto(env, g, c.Num, true)
+		return tacAuto(env, g, c.Num, true, sc)
 	case "trivial":
-		return tacAuto(env, g, 1, false)
+		return tacAuto(env, g, 1, false, sc)
 	case "lia", "omega":
 		return tacLia(env, g)
 	case "congruence":
@@ -286,68 +297,84 @@ func applyCall(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
 // ---------------------------------------------------------------------------
 // Introduction forms
 
-func tacIntro(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
-	used := g.usedNames()
-	ng := g.Clone()
-	switch g.Concl.Kind {
+// introInto performs one introduction step by mutating ng in place. ng must
+// be a fresh un-shared clone (Clone leaves the identity memos empty, so
+// in-place edits are safe until the goal escapes). used is maintained
+// incrementally: each introduction adds exactly one name, and every free
+// variable the step exposes was already free in the conclusion.
+func introInto(ng *Goal, name string, used map[string]bool) error {
+	switch ng.Concl.Kind {
 	case kernel.FForall:
 		n := name
 		if n == "" {
-			n = kernel.FreshName(g.Concl.Binder, used)
+			n = kernel.FreshName(ng.Concl.Binder, used)
 		} else if used[n] {
-			return nil, fmt.Errorf("tactic: name %q already used", n)
+			return fmt.Errorf("tactic: name %q already used", n)
 		}
-		ng.Vars = append(ng.Vars, kernel.TypedVar{Name: n, Type: g.Concl.BType})
-		ng.Concl = g.Concl.Body.Subst1(g.Concl.Binder, kernel.V(n))
-		return []*Goal{ng}, nil
+		used[n] = true
+		ng.Vars = append(ng.Vars, kernel.TypedVar{Name: n, Type: ng.Concl.BType})
+		ng.Concl = ng.Concl.Body.Subst1(ng.Concl.Binder, kernel.V(n))
+		return nil
 	case kernel.FImpl:
 		n := name
 		if n == "" {
 			n = ng.FreshHypName(used)
 		} else if used[n] {
-			return nil, fmt.Errorf("tactic: name %q already used", n)
+			return fmt.Errorf("tactic: name %q already used", n)
 		}
-		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: g.Concl.L})
-		ng.Concl = g.Concl.R
-		return []*Goal{ng}, nil
+		used[n] = true
+		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: ng.Concl.L})
+		ng.Concl = ng.Concl.R
+		return nil
 	case kernel.FNot:
 		n := name
 		if n == "" {
 			n = ng.FreshHypName(used)
 		} else if used[n] {
-			return nil, fmt.Errorf("tactic: name %q already used", n)
+			return fmt.Errorf("tactic: name %q already used", n)
 		}
-		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: g.Concl.L})
+		used[n] = true
+		ng.Hyps = append(ng.Hyps, Hyp{Name: n, Form: ng.Concl.L})
 		ng.Concl = kernel.False()
-		return []*Goal{ng}, nil
+		return nil
 	}
-	return nil, errors.New("tactic: nothing to introduce")
+	return errors.New("tactic: nothing to introduce")
+}
+
+func tacIntro(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+	ng := g.Clone()
+	if err := introInto(ng, name, g.usedNames()); err != nil {
+		return nil, err
+	}
+	return []*Goal{ng}, nil
 }
 
 func tacIntros(env *kernel.Env, g *Goal, names []string) ([]*Goal, error) {
 	if len(names) == 0 {
 		// Bare `intros` introduces syntactic products only; it does not
 		// unfold `~` (matching Coq, where `intro` delta-reduces `not` but
-		// `intros` stops at the first non-product).
-		cur := g
-		for cur.Concl.Kind == kernel.FForall || cur.Concl.Kind == kernel.FImpl {
-			next, err := tacIntro(env, cur, "")
-			if err != nil {
+		// `intros` stops at the first non-product). A no-op `intros`
+		// succeeds without cloning.
+		if g.Concl.Kind != kernel.FForall && g.Concl.Kind != kernel.FImpl {
+			return []*Goal{g}, nil
+		}
+		used := g.usedNames()
+		ng := g.Clone()
+		for ng.Concl.Kind == kernel.FForall || ng.Concl.Kind == kernel.FImpl {
+			if err := introInto(ng, "", used); err != nil {
 				return nil, err
 			}
-			cur = next[0]
 		}
-		return []*Goal{cur}, nil
+		return []*Goal{ng}, nil
 	}
-	cur := g
+	used := g.usedNames()
+	ng := g.Clone()
 	for _, n := range names {
-		next, err := tacIntro(env, cur, n)
-		if err != nil {
+		if err := introInto(ng, n, used); err != nil {
 			return nil, err
 		}
-		cur = next[0]
 	}
-	return []*Goal{cur}, nil
+	return []*Goal{ng}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -363,7 +390,7 @@ func tacAssumption(env *kernel.Env, g *Goal) ([]*Goal, error) {
 	return nil, errors.New("tactic: no matching assumption")
 }
 
-func tacExact(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
+func tacExact(env *kernel.Env, g *Goal, name string, sc *kernel.Scratch) ([]*Goal, error) {
 	if name == "I" && g.Concl.Kind == kernel.FTrue {
 		return nil, nil
 	}
@@ -378,7 +405,7 @@ func tacExact(env *kernel.Env, g *Goal, name string) ([]*Goal, error) {
 			return nil, nil
 		}
 		// A lemma may match after instantiation; delegate to apply.
-		return tacApply(env, g, Call{Name: "apply", Idents: []string{name}, Num: -1}, false)
+		return tacApply(env, g, Call{Name: "apply", Idents: []string{name}, Num: -1}, false, sc)
 	}
 	return nil, fmt.Errorf("tactic: unknown name %q", name)
 }

@@ -7,14 +7,14 @@ import (
 	"llmfscq/internal/kernel"
 )
 
-func tacRewrite(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
+func tacRewrite(env *kernel.Env, g *Goal, c Call, sc *kernel.Scratch) ([]*Goal, error) {
 	if len(c.Idents) == 0 {
 		return nil, errors.New("tactic: rewrite expects an equation name")
 	}
 	main := g
 	var sides []*Goal
 	for _, name := range c.Idents {
-		res, extra, err := rewriteOne(env, main, name, c.Rev, c.InHyp)
+		res, extra, err := rewriteOne(env, main, name, c.Rev, c.InHyp, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -27,13 +27,13 @@ func tacRewrite(env *kernel.Env, g *Goal, c Call) ([]*Goal, error) {
 // rewriteOne rewrites with one named equation in the conclusion or a
 // hypothesis, returning the rewritten goal plus side-condition goals for the
 // equation's premises.
-func rewriteOne(env *kernel.Env, g *Goal, name string, rev bool, in string) (*Goal, []*Goal, error) {
+func rewriteOne(env *kernel.Env, g *Goal, name string, rev bool, in string, sc *kernel.Scratch) (*Goal, []*Goal, error) {
 	stmt, err := lookupStmt(env, g, name)
 	if err != nil {
 		return nil, nil, err
 	}
-	var mc kernel.MetaCounter
-	inst := instantiate(stmt, &mc)
+	insts := instantiations(stmt)
+	inst := insts[len(insts)-1]
 	if inst.concl.Kind != kernel.FEq {
 		return nil, nil, fmt.Errorf("tactic: %q is not an equation", name)
 	}
@@ -51,14 +51,14 @@ func rewriteOne(env *kernel.Env, g *Goal, name string, rev bool, in string) (*Go
 		target = h.Form
 	}
 
-	instTerm, sub, ok := kernel.FindInstanceForm(lhs, target, inst.flex, kernel.Subst{})
+	instTerm, sub, ok := kernel.FindInstanceFormS(lhs, target, inst.flex, nil, sc)
 	if !ok {
-		return nil, nil, fmt.Errorf("tactic: found no subterm matching %s", kernel.FullResolve(lhs, kernel.Subst{}))
+		return nil, nil, fmt.Errorf("tactic: found no subterm matching %s", lhs)
 	}
-	if !metasResolved(inst, sub) {
+	if !metasResolved(inst, sub, sc) {
 		return nil, nil, errors.New("tactic: rewrite cannot determine all instances")
 	}
-	replacement := kernel.FullResolve(rhs, sub)
+	replacement := kernel.FullResolveS(rhs, sub, sc)
 	newTarget, n := kernel.ReplaceAllForm(target, instTerm, replacement)
 	if n == 0 {
 		return nil, nil, errors.New("tactic: internal: instance vanished")
@@ -74,7 +74,7 @@ func rewriteOne(env *kernel.Env, g *Goal, name string, rev bool, in string) (*Go
 	var sides []*Goal
 	for _, prem := range inst.prems {
 		ng := g.Clone()
-		ng.Concl = kernel.FullResolveForm(prem, sub)
+		ng.Concl = kernel.FullResolveFormS(prem, sub, sc)
 		sides = append(sides, ng)
 	}
 	return main, sides, nil

@@ -10,10 +10,46 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"llmfscq/internal/kernel"
 )
+
+// Precomputed name families for the hot paths: positional fingerprint
+// variables ("v0", "v1", ...) and fresh hypothesis names ("H0", "H1", ...).
+const smallNames = 256
+
+var (
+	vNameTab = func() [smallNames]string {
+		var t [smallNames]string
+		for i := range t {
+			t[i] = "v" + strconv.Itoa(i)
+		}
+		return t
+	}()
+	hNameTab = func() [smallNames]string {
+		var t [smallNames]string
+		for i := range t {
+			t[i] = "H" + strconv.Itoa(i)
+		}
+		return t
+	}()
+)
+
+func vName(i int) string {
+	if i >= 0 && i < smallNames {
+		return vNameTab[i]
+	}
+	return "v" + strconv.Itoa(i)
+}
+
+func hName(i int) string {
+	if i >= 0 && i < smallNames {
+		return hNameTab[i]
+	}
+	return "H" + strconv.Itoa(i)
+}
 
 // Hyp is a named hypothesis.
 type Hyp struct {
@@ -150,7 +186,7 @@ func (g *Goal) FreshHypName(used map[string]bool) string {
 		return "H"
 	}
 	for i := 0; ; i++ {
-		n := fmt.Sprintf("H%d", i)
+		n := hName(i)
 		if !used[n] {
 			used[n] = true
 			return n
@@ -234,7 +270,7 @@ func (g *Goal) StrictKey() [2]uint64 {
 func (g *Goal) fpRen() kernel.Subst {
 	ren := make(kernel.Subst, len(g.Vars))
 	for i, v := range g.Vars {
-		ren[v.Name] = kernel.V("v" + strconv.Itoa(i))
+		ren[v.Name] = kernel.V(vName(i))
 	}
 	return ren
 }
@@ -276,11 +312,12 @@ func (g *Goal) FingerprintKey() [2]uint64 {
 	if p := g.fpk.Load(); p != nil {
 		return *p
 	}
-	ren := make(map[string]string, len(g.Vars))
+	sp := fpkPool.Get().(*fpkScratch)
+	ren := sp.ren
 	for i, v := range g.Vars {
-		ren[v.Name] = "v" + strconv.Itoa(i)
+		ren[v.Name] = vName(i)
 	}
-	hyps := make([][2]uint64, 0, len(g.Hyps))
+	hyps := sp.hyps[:0]
 	for _, h := range g.Hyps {
 		hyps = append(hyps, kernel.FingerprintKeySeeded(h.Form, ren))
 	}
@@ -298,8 +335,21 @@ func (g *Goal) FingerprintKey() [2]uint64 {
 	h.Pair(kernel.FingerprintKeySeeded(g.Concl, ren))
 	k := h.Sum()
 	g.fpk.Store(&k)
+	clear(ren)
+	sp.hyps = hyps
+	fpkPool.Put(sp)
 	return k
 }
+
+// fpkScratch recycles FingerprintKey's renaming map and per-hypothesis key
+// buffer. Pooled (not per-search) because FingerprintKey is called from
+// every layer that dedupes goals; the map goes back empty.
+type fpkScratch struct {
+	ren  map[string]string
+	hyps [][2]uint64
+}
+
+var fpkPool = sync.Pool{New: func() any { return &fpkScratch{ren: map[string]string{}} }}
 
 // Fingerprint of the whole state: concatenation over goals. Goal order
 // matters (the focused goal differs).

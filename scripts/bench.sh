@@ -1,7 +1,7 @@
 #!/bin/sh
 # Benchmark trajectory harness: runs the sweep-scale benchmark suite and
-# writes BENCH_sweep.json (ns/op plus any b.ReportMetric coverage metrics)
-# at the repository root. If a BENCH_sweep.json from an earlier run exists,
+# writes BENCH_sweep.json (ns/op, B/op, allocs/op, plus any b.ReportMetric
+# coverage metrics) at the repository root. If a BENCH_sweep.json from an earlier run exists,
 # its results are preserved under "previous" so successive PRs accumulate a
 # perf trajectory instead of overwriting the baseline.
 #
@@ -35,9 +35,13 @@ $1 ~ /^Benchmark/ && $NF == "ns\/op" || ($0 ~ /ns\/op/ && $1 ~ /^Benchmark/) {
     sub(/-[0-9]+$/, "", name)
     iters = $2
     nsop = ""
+    bop = "null"
+    aop = "null"
     metrics = ""
     for (i = 3; i < NF; i++) {
         if ($(i + 1) == "ns/op") nsop = $i
+        else if ($(i + 1) == "B/op") bop = $i
+        else if ($(i + 1) == "allocs/op") aop = $i
         else if ($(i + 1) ~ /%$|^[a-zA-Z]/ && $(i + 1) != "ns/op" && $i ~ /^[0-9.]+$/) {
             if (metrics != "") metrics = metrics ", "
             metrics = metrics "\"" $(i + 1) "\": " $i
@@ -46,7 +50,7 @@ $1 ~ /^Benchmark/ && $NF == "ns\/op" || ($0 ~ /ns\/op/ && $1 ~ /^Benchmark/) {
     }
     if (nsop == "") next
     n++
-    entry[n] = sprintf("{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"metrics\": {%s}}", name, iters, nsop, metrics)
+    entry[n] = sprintf("{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", name, iters, nsop, bop, aop, metrics)
 }
 END {
     printf "{\n"

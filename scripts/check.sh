@@ -56,6 +56,16 @@ go run ./cmd/lint ./...
 echo "==> go run ./cmd/lint -family typed -baseline lint_baseline.json ./..."
 go run ./cmd/lint -family typed -baseline lint_baseline.json ./...
 
+# The allocs/op ratchet: the frozen hot-path-allocation debt may only
+# shrink. 314 was the count when the scratch-arena work landed; a PR that
+# pushes it back up must instead fix the allocation it introduced.
+hotdebt=$(grep -c '"analyzer": "hotpathalloc"' lint_baseline.json || true)
+[ "$hotdebt" -lt 314 ] || {
+	echo "check: FAIL: hotpathalloc baseline grew to $hotdebt entries (ratchet: < 314)" >&2
+	exit 1
+}
+echo "check: hotpathalloc baseline at $hotdebt entries (ratchet: < 314)"
+
 # Backend equivalence at full scale: the complete experiment sweep must
 # print byte-identical tables through the in-process backend, the remote
 # wire backend on a clean network, and the remote backend under an enabled
@@ -73,6 +83,8 @@ go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-wire-batch=false >"$tmp/remote.out"
 echo "==> experiments -all -intern=false (hash-consing disabled)"
 go run ./cmd/experiments -all -seed 2025 -intern=false >"$tmp/nointern.out"
+echo "==> experiments -all -search-arena=false (scratch arenas disabled)"
+go run ./cmd/experiments -all -seed 2025 -search-arena=false >"$tmp/noarena.out"
 echo "==> experiments -all -backend=remote (chaos schedule, batched wire)"
 go run ./cmd/experiments -all -seed 2025 -backend=remote -wire-timeout 150ms \
 	-faults 'drop-conn=0.0005,stall=0.00002,corrupt-answer=0.0002,partial-write=0.0002' \
@@ -101,6 +113,10 @@ cmp "$tmp/inprocess.out" "$tmp/nointern.out" || {
 	echo "check: FAIL: tables differ with hash-consing disabled" >&2
 	exit 1
 }
+cmp "$tmp/inprocess.out" "$tmp/noarena.out" || {
+	echo "check: FAIL: tables differ with scratch arenas disabled" >&2
+	exit 1
+}
 cmp "$tmp/inprocess.out" "$tmp/distributed.out" || {
 	echo "check: FAIL: distributed sweep tables differ from in-process" >&2
 	exit 1
@@ -109,6 +125,6 @@ cmp "$tmp/inprocess.out" "$tmp/distchaos.out" || {
 	echo "check: FAIL: distributed sweep tables differ under fleet chaos" >&2
 	exit 1
 }
-echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos = intern-off = distributed = distributed+chaos)"
+echo "check: backend equivalence holds (serial = parallel+cached = remote-lockstep = remote-batched+chaos = intern-off = arena-off = distributed = distributed+chaos)"
 
 echo "check: all gates passed"
