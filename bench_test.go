@@ -19,6 +19,7 @@ import (
 	"llmfscq/internal/prompt"
 	"llmfscq/internal/protocol"
 	"llmfscq/internal/remote"
+	"llmfscq/internal/store"
 	"llmfscq/internal/sweep"
 	"llmfscq/internal/tactic"
 	"llmfscq/internal/textmetrics"
@@ -277,6 +278,71 @@ func BenchmarkTryCache(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWarmSweep measures the persistent proof cache end to end:
+// "cold" sweeps into an empty store (paying the search plus the
+// write-behind appends), "warm" re-sweeps a primed store with a fresh
+// runner per iteration, so every outcome answers from disk and the Try
+// records pre-warm the in-memory cache. Warm reports the outcome hit rate;
+// coverage must match cold — the store changes latency, never tables.
+func BenchmarkWarmSweep(b *testing.B) {
+	files, err := corpus.Sources()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hash := corpus.Hash(files)
+	open := func(b *testing.B, dir string) (*eval.Runner, *store.Cache) {
+		pc, err := store.OpenCache(store.CacheConfig{Dir: dir, CorpusHash: hash, MirrorDen: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := newRunner(b)
+		r.ProofStore = pc
+		return r, pc
+	}
+	sweepOnce := func(b *testing.B, r *eval.Runner, pc *store.Cache) ([]eval.Outcome, store.CacheStats) {
+		outs := r.RunSweep(model.GPT4o, prompt.Hint, slice(r, 30))
+		r.FlushProofStore()
+		if n := r.ProofStoreMismatches(); n != 0 {
+			b.Fatalf("%d mirror mismatches", n)
+		}
+		st := pc.Stats()
+		if err := pc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return outs, st
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir() // a fresh empty store every iteration
+			b.StartTimer()
+			r, pc := open(b, dir)
+			outs, _ := sweepOnce(b, r, pc)
+			b.ReportMetric(coveragePct(outs), "cov-%")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		r0, pc0 := open(b, dir)
+		sweepOnce(b, r0, pc0) // prime the store
+		var last store.CacheStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, pc := open(b, dir)
+			outs, st := sweepOnce(b, r, pc)
+			last = st
+			b.ReportMetric(coveragePct(outs), "cov-%")
+		}
+		b.StopTimer()
+		if h, m := last.OutcomeHits, last.OutcomeMisses; h+m > 0 {
+			b.ReportMetric(100*float64(h)/float64(h+m), "hit-%")
+		}
+		b.ReportMetric(float64(last.TryWarmed), "try-warmed")
+	})
 }
 
 // BenchmarkRemoteExpand measures one eight-candidate expansion against a

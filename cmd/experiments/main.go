@@ -24,6 +24,7 @@ import (
 	"llmfscq/internal/prompt"
 	"llmfscq/internal/protocol"
 	"llmfscq/internal/remote"
+	"llmfscq/internal/store"
 	"llmfscq/internal/sweep"
 )
 
@@ -40,20 +41,23 @@ func main() {
 		ablate = flag.Bool("ablate", false, "search ablations (width, fuel, algorithm)")
 		all    = flag.Bool("all", false, "run everything")
 
-		seed        = flag.Int64("seed", 2025, "experiment seed")
-		queryLimit  = flag.Int("fuel", 128, "model query limit")
-		width       = flag.Int("width", 8, "search width")
-		par         = flag.Int("par", runtime.NumCPU(), "parallel searches (alias of -parallelism)")
-		parallelism = flag.Int("parallelism", 0, "bound on concurrent searches across the whole grid (overrides -par; 0 = use -par)")
-		searchPar   = flag.Int("search-parallelism", 1, "concurrent candidate executions within one expansion (1 = serial; tables are identical at every setting)")
-		tryCache    = flag.Bool("try-cache", false, "share a cross-search Try memoization cache across the grid (tables are identical either way)")
-		intern      = flag.Bool("intern", true, "hash-cons kernel terms and formulas in a shared arena (tables are identical either way; off disables only the pointer dedup)")
-		searchArena = flag.Bool("search-arena", true, "recycle tactic-interpreter buffers in per-search scratch arenas (tables are identical either way; off restores per-call allocation)")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
-		paperSamp   = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
-		only        = flag.String("model", "", "restrict to models whose name contains this substring")
-		lint        = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
+		seed             = flag.Int64("seed", 2025, "experiment seed")
+		queryLimit       = flag.Int("fuel", 128, "model query limit")
+		width            = flag.Int("width", 8, "search width")
+		par              = flag.Int("par", runtime.NumCPU(), "parallel searches (alias of -parallelism)")
+		parallelism      = flag.Int("parallelism", 0, "bound on concurrent searches across the whole grid (overrides -par; 0 = use -par)")
+		searchPar        = flag.Int("search-parallelism", 1, "concurrent candidate executions within one expansion (1 = serial; tables are identical at every setting)")
+		tryCache         = flag.Bool("try-cache", false, "share a cross-search Try memoization cache across the grid (tables are identical either way)")
+		proofCache       = flag.String("proof-cache", "", "directory of the persistent proof/Try result store: warm re-runs at the same corpus/seed/hyperparameters skip whole searches (tables are byte-identical warm or cold)")
+		proofCacheRO     = flag.Bool("proof-cache-readonly", false, "serve warm results from -proof-cache but record nothing")
+		proofCacheMirror = flag.Int("proof-cache-mirror", 16, "cross-check roughly one in N warm proof-cache hits against a live recomputation (0 disables; any mismatch aborts the run)")
+		intern           = flag.Bool("intern", true, "hash-cons kernel terms and formulas in a shared arena (tables are identical either way; off disables only the pointer dedup)")
+		searchArena      = flag.Bool("search-arena", true, "recycle tactic-interpreter buffers in per-search scratch arenas (tables are identical either way; off restores per-call allocation)")
+		cpuprofile       = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile       = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		paperSamp        = flag.Bool("paper-sampling", false, "evaluate large models on a 10% subsample, as the paper does for budget reasons")
+		only             = flag.String("model", "", "restrict to models whose name contains this substring")
+		lint             = flag.Bool("lint", false, "run the corpus static analyzers before the experiments and abort on findings")
 
 		backend     = flag.String("backend", "inprocess", "tactic execution backend: inprocess, or remote (wire protocol against checkerd, mirror-checked)")
 		checkerd    = flag.String("checkerd", "", "checkerd address for -backend=remote (empty: spawn an in-process server on a loopback port)")
@@ -119,6 +123,23 @@ func main() {
 	r.SearchParallelism = *searchPar
 	r.TryCache = *tryCache
 	r.NoScratchArena = !*searchArena
+	var pc *store.Cache
+	if *proofCache != "" {
+		files, err := corpus.Sources()
+		if err != nil {
+			log.Fatalf("proof-cache: hashing corpus: %v", err)
+		}
+		pc, err = store.OpenCache(store.CacheConfig{
+			Dir:        *proofCache,
+			ReadOnly:   *proofCacheRO,
+			CorpusHash: corpus.Hash(files),
+			MirrorDen:  *proofCacheMirror,
+		})
+		if err != nil {
+			log.Fatalf("proof-cache: %v", err)
+		}
+		r.ProofStore = pc
+	}
 	runGrid := r.RunGrid
 	var finishBackend func()
 	if *workers > 0 || *workerAddrs != "" {
@@ -131,8 +152,20 @@ func main() {
 	}
 	defer finishBackend()
 	defer func() {
-		if hits, misses, evicted, entries := r.TryCacheStats(); hits+misses > 0 {
-			fmt.Fprintf(os.Stderr, "try-cache: hits=%d misses=%d evicted=%d entries=%d\n", hits, misses, evicted, entries)
+		// One structured cache-stats line covers both tiers (in-memory
+		// TryCache and persistent store); bench.sh scrapes it by the
+		// "cache-stats" event tag.
+		r.FlushProofStore()
+		if line := r.CacheStatsJSON(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if pc != nil {
+			if err := pc.Close(); err != nil {
+				log.Fatalf("proof-cache: %v", err)
+			}
+		}
+		if n := r.ProofStoreMismatches(); n > 0 {
+			log.Fatalf("proof-cache: %d mirror mismatches — persisted results disagree with live recomputation", n)
 		}
 		if hits, misses := kernel.InternStats(); hits+misses > 0 {
 			fmt.Fprintf(os.Stderr, "intern: hits=%d misses=%d (%.1f%% hit rate)\n",
@@ -429,11 +462,14 @@ func runAblations(r *eval.Runner, c *corpus.Corpus) string {
 	b.WriteString("Ablations (GPT-4o, hints)\n\n")
 	ths := r.TestSet()
 
-	run := func(width, fuel int, search func(core.Config) core.Result) (float64, float64) {
+	run := func(width, fuel int, name string, search func(core.Config) core.Result) (float64, float64) {
 		rr := *r
 		rr.Width = width
 		rr.QueryLimit = fuel
 		rr.Search = search
+		// Name the algorithm so ablation outcomes are persistable: the
+		// proof-cache key cannot fingerprint an anonymous func.
+		rr.SearchName = name
 		outs := rr.RunSweep(model.GPT4o, prompt.Hint, ths)
 		p, q := 0, 0
 		for _, o := range outs {
@@ -451,20 +487,21 @@ func runAblations(r *eval.Runner, c *corpus.Corpus) string {
 
 	b.WriteString("width sweep (fuel=128, best-first):\n")
 	for _, w := range []int{1, 2, 4, 8, 16} {
-		cov, q := run(w, 128, nil)
+		cov, q := run(w, 128, "", nil)
 		fmt.Fprintf(&b, "  width %2d: coverage %5.1f%%, avg queries per proof %.1f\n", w, cov, q)
 	}
 	b.WriteString("query-limit sweep (width=8, best-first):\n")
 	for _, f := range []int{32, 64, 128, 256} {
-		cov, q := run(8, f, nil)
+		cov, q := run(8, f, "", nil)
 		fmt.Fprintf(&b, "  fuel %3d: coverage %5.1f%%, avg queries per proof %.1f\n", f, cov, q)
 	}
 	b.WriteString("algorithm (width=8, fuel=128):\n")
 	for _, alg := range []struct {
 		name string
+		key  string
 		fn   func(core.Config) core.Result
-	}{{"best-first", core.BestFirst}, {"linear (Rango-style)", core.Linear}, {"greedy", core.Greedy}} {
-		cov, q := run(8, 128, alg.fn)
+	}{{"best-first", "best-first", core.BestFirst}, {"linear (Rango-style)", "linear", core.Linear}, {"greedy", "greedy", core.Greedy}} {
+		cov, q := run(8, 128, alg.key, alg.fn)
 		fmt.Fprintf(&b, "  %-22s coverage %5.1f%%, avg queries per proof %.1f\n", alg.name, cov, q)
 	}
 	return b.String()

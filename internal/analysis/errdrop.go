@@ -1,11 +1,14 @@
 package analysis
 
-// errdrop: discarded error returns on the wire path. internal/protocol,
-// internal/remote, and internal/checker implement the PR 3 robustness
-// ladder — deadlines, retry, resurrection, breaker degradation — and every
-// rung is triggered by an error value; a call whose error is dropped on the
-// floor silently voids the ladder (the failure neither retries nor
-// degrades, it just disappears). Deferred calls are exempt: `defer
+// errdrop: discarded error returns on the wire and persistence paths.
+// internal/protocol, internal/remote, and internal/checker implement the
+// PR 3 robustness ladder — deadlines, retry, resurrection, breaker
+// degradation — and every rung is triggered by an error value; a call whose
+// error is dropped on the floor silently voids the ladder (the failure
+// neither retries nor degrades, it just disappears). internal/store is in
+// scope for the same reason with different stakes: a dropped fsync, close,
+// or rename error on the proof-cache persistence path silently turns
+// "crash-safe" into "usually fine". Deferred calls are exempt: `defer
 // c.Close()` on an already-failed path is the accepted teardown idiom, and
 // flagging it would bury the real findings.
 
@@ -21,14 +24,16 @@ var errDropScope = []string{
 	"internal/protocol",
 	"internal/remote",
 	"internal/checker",
+	"internal/store",
 }
 
 var analyzerErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "discarded error returns in internal/{protocol,remote,checker}: calls " +
-		"used as statements whose results include an error, and error results " +
-		"assigned to _ — a dropped error silently skips the retry/resurrection/" +
-		"breaker ladder (deferred Close calls exempt)",
+	Doc: "discarded error returns in internal/{protocol,remote,checker,store}: " +
+		"calls used as statements whose results include an error, and error " +
+		"results assigned to _ — a dropped error silently skips the retry/" +
+		"resurrection/breaker ladder, or voids the proof store's crash-safety " +
+		"(deferred Close calls exempt)",
 	Typed: runErrDrop,
 }
 

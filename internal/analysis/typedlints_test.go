@@ -360,6 +360,50 @@ func OutOfScope() { fail() }
 	}
 }
 
+// The persistence path is in errdrop scope: a dropped fsync/close/rename
+// error silently voids the proof store's crash-safety guarantees.
+func TestErrDropFiresInStore(t *testing.T) {
+	m := loadFixture(t, map[string]string{
+		"go.mod": fixGomod,
+		"internal/store/s.go": `package store
+
+import "os"
+
+func persist(f *os.File) {
+	f.Sync()
+	_ = f.Close()
+}
+`,
+	})
+	got := runTyped(t, analyzerErrDrop, m)
+	wantFindingsAnyOrder(t, got,
+		"error result of f.Sync dropped",
+		"error result of f.Close assigned to _",
+	)
+}
+
+func TestErrDropCleanInStore(t *testing.T) {
+	m := loadFixture(t, map[string]string{
+		"go.mod": fixGomod,
+		"internal/store/s.go": `package store
+
+import "os"
+
+func persist(f *os.File) error {
+	// Handled errors and deferred teardown are the accepted idioms.
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+	})
+	if got := runTyped(t, analyzerErrDrop, m); len(got) != 0 {
+		t.Fatalf("clean store fixture produced findings: %v", got)
+	}
+}
+
 // --- baseline ---------------------------------------------------------------
 
 func TestBaselineRoundTrip(t *testing.T) {

@@ -20,7 +20,21 @@ type Step struct {
 	State *tactic.State
 	// Err holds the checker's message for Rejected/Timeout.
 	Err error
+	// FromStore marks a Step rehydrated from the persistent proof cache
+	// rather than executed this process. Only Rejected/Timeout steps are
+	// ever persisted (an Applied step needs its successor state), so a
+	// FromStore step never carries a State. The search's mirror-sample
+	// cross-check keys on this flag and clears it when it re-executes.
+	FromStore bool
 }
+
+// StoredError carries a checker message rehydrated from the persistent
+// proof cache: the original error's text without its original type. The
+// search only ever compares messages (it branches on Status), so the type
+// erasure is invisible to results.
+type StoredError string
+
+func (e StoredError) Error() string { return string(e) }
 
 // Doc is one open proof attempt against a backend. The search drives it
 // with Try: stateless with respect to the document tip, so a best-first

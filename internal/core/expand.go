@@ -38,14 +38,15 @@ import (
 // safe. Config.NoScratchArena disables them (nil scratch = the legacy
 // allocation behavior), with byte-identical results.
 type expander struct {
-	doc   checker.Doc
-	batch checker.BatchDoc
-	st    checker.ScratchTryer
-	par   int
-	cache *TryCache
-	env   *kernel.Env
-	sc    *kernel.Scratch   // search-goroutine scratch (nil when disabled)
-	scs   []*kernel.Scratch // per-worker scratches (parallel strategy)
+	doc    checker.Doc
+	batch  checker.BatchDoc
+	st     checker.ScratchTryer
+	par    int
+	cache  *TryCache
+	env    *kernel.Env
+	mirror int               // FromStore-hit mirror sample denominator (0: off)
+	sc     *kernel.Scratch   // search-goroutine scratch (nil when disabled)
+	scs    []*kernel.Scratch // per-worker scratches (parallel strategy)
 
 	// Recycled buffers, touched only by the search goroutine.
 	free []*expansion
@@ -53,7 +54,7 @@ type expander struct {
 }
 
 func newExpander(cfg Config, doc checker.Doc) *expander {
-	x := &expander{doc: doc, par: cfg.Parallelism, cache: cfg.Cache, env: cfg.Env}
+	x := &expander{doc: doc, par: cfg.Parallelism, cache: cfg.Cache, env: cfg.Env, mirror: cfg.MirrorFrac}
 	if bd, ok := doc.(checker.BatchDoc); ok {
 		x.batch = bd
 	}
@@ -118,6 +119,36 @@ func (e *expansion) finish(i int, step checker.Step) {
 	}
 }
 
+// mirrorPick deterministically samples one in den (state, sentence) pairs
+// for the persisted-hit cross-check: an inline FNV-1a over the key words
+// and sentence bytes, allocation-free because expand is hot-path code.
+func mirrorPick(k stateKey, sentence string, den int) bool {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 2; i++ {
+		w := k[i]
+		for b := 0; b < 64; b += 8 {
+			h = (h ^ (w >> b & 0xff)) * prime
+		}
+	}
+	for i := 0; i < len(sentence); i++ {
+		h = (h ^ uint64(sentence[i])) * prime
+	}
+	return h%uint64(den) == 0
+}
+
+// sameVerdict compares a rehydrated Step with its live re-execution. The
+// invariant mirrored is exactly what the search consumes from a cached
+// Step: the Status (Applied steps are never persisted, so successor states
+// never enter the comparison). Err is deliberately excluded — it is
+// diagnostic text the search never reads, and two alpha-variant states
+// sharing a StrictKey can legitimately reject the same sentence with
+// different identifier names in the message, exactly as the in-memory
+// TryCache already serves the first-seen message under such a collision.
+func sameVerdict(stored, live checker.Step) bool {
+	return stored.Status == live.Status
+}
+
 // get returns a recycled expansion with buffers sized for n candidates.
 func (x *expander) get(n int) *expansion {
 	if last := len(x.free) - 1; last >= 0 {
@@ -170,6 +201,16 @@ func (x *expander) expand(parent *tactic.State, path []string, cands []model.Can
 		e.key = parent.StrictKey()
 		for i := range e.cands {
 			if step, ok := x.cache.Get(x.env, e.key, e.cands[i].Tactic); ok {
+				if step.FromStore && x.mirror > 0 && mirrorPick(e.key, e.cands[i].Tactic, x.mirror) {
+					// Mirror-first discipline on persisted results: a
+					// deterministic sample of rehydrated hits re-executes
+					// live; the verdicts must agree. finish re-publishes the
+					// live Step, clearing FromStore for this key.
+					live := x.try(parent, path, e.cands[i].Tactic, x.sc)
+					x.cache.NoteMirror(sameVerdict(step, live))
+					e.finish(i, live)
+					continue
+				}
 				e.steps[i], e.done[i] = step, true
 			}
 		}

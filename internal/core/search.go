@@ -71,6 +71,15 @@ type Config struct {
 	// Cache, when non-nil, memoizes Try outcomes across the searches that
 	// share it (keyed on env identity + concrete parent state + sentence).
 	Cache *TryCache
+	// MirrorFrac samples roughly one in MirrorFrac cache hits whose Step
+	// was rehydrated from the persistent proof store (Step.FromStore) for a
+	// live re-execution cross-check: the sampled candidate runs as if the
+	// cache had missed and the two verdicts are compared via
+	// Cache.NoteMirror. The sample is a pure function of (state key,
+	// sentence), so which hits are mirrored — and therefore every result —
+	// is deterministic. 0 disables. Results are byte-identical at every
+	// setting: a mirrored hit re-executes a pure function.
+	MirrorFrac int
 	// NoScratchArena disables the per-search scratch arenas that recycle
 	// the tactic interpreter's transient buffers (the -search-arena=false
 	// parity mode). The zero value enables them; results are byte-identical

@@ -1,0 +1,27 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Hash returns a 128-bit content hash of the corpus sources: SHA-256 over
+// the name/source sequence, truncated. The persistent proof cache embeds it
+// in every key, which is what makes cache invalidation by construction
+// work — editing one byte of one theorem changes the hash, so every stored
+// result silently becomes unreachable instead of stale.
+func Hash(files []SourceFile) [2]uint64 {
+	h := sha256.New()
+	for _, f := range files {
+		h.Write([]byte(f.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(f.Src))
+		h.Write([]byte{0})
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return [2]uint64{
+		binary.BigEndian.Uint64(sum[0:8]),
+		binary.BigEndian.Uint64(sum[8:16]),
+	}
+}

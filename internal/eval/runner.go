@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"llmfscq/internal/kernel"
 	"llmfscq/internal/model"
 	"llmfscq/internal/prompt"
+	"llmfscq/internal/store"
 	"llmfscq/internal/tactic"
 	"llmfscq/internal/textmetrics"
 	"llmfscq/internal/tokenizer"
@@ -70,6 +72,19 @@ type Runner struct {
 	// NoScratchArena disables the per-search scratch arenas (the
 	// -search-arena=false parity mode); see core.Config.NoScratchArena.
 	NoScratchArena bool
+	// ProofStore, when non-nil, persists per-theorem search outcomes and
+	// negative Try results across processes (internal/store): a warm
+	// re-sweep at the same corpus/seed/hyperparameters skips whole searches
+	// and pre-warms the TryCache. Results are byte-identical warm or cold —
+	// stored fields are exactly the search's irreproducible outputs, derived
+	// metrics are recomputed, and a deterministic mirror sample re-executes
+	// live to cross-check.
+	ProofStore *store.Cache
+	// SearchName names a custom Search func for the persistent outcome key
+	// ("best-first" is implied when Search is nil). A custom Search with an
+	// empty name disables outcome persistence for its sweeps: an anonymous
+	// algorithm cannot be safely fingerprinted.
+	SearchName string
 
 	// The caches below are pointers so Runner values can be copied for
 	// ablation variants (width/fuel/algorithm changes) while sharing the
@@ -93,6 +108,9 @@ type Runner struct {
 	// the grid (pure per-(prompt, n-gram, profile) data; see
 	// model.RetrCache).
 	retrIdx *model.RetrCache
+	// persist holds the persistence fingerprints and the env registry for
+	// the end-of-run Try drain (see store.go).
+	persist *persistIndex
 }
 
 // tryIndex caches the cross-search Try memo behind a once, like envIndex.
@@ -128,6 +146,7 @@ func NewRunner(c *corpus.Corpus, seed int64) *Runner {
 		ngrams:     &sync.Map{},
 		trymemo:    &tryIndex{},
 		retrIdx:    model.NewRetrCache(),
+		persist:    newPersistIndex(),
 	}
 }
 
@@ -351,10 +370,30 @@ func (r *Runner) RunTheorem(prof model.Profile, setting prompt.Setting, th *corp
 	env := r.RestrictEnv(th)
 	b := r.builder(prof, setting)
 	pr := b.Build(th)
-	return r.runWithPrompt(prof, setting, th, env, pr)
+	return r.runWithPrompt(prof, setting, th, env, pr, "std")
 }
 
-func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, env *kernel.Env, pr *prompt.Prompt) Outcome {
+// runWithPrompt runs one search. variant distinguishes experiment flavors
+// that share a theorem and setting but not a prompt ("std", "reduced") in
+// the persistent outcome key.
+func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, env *kernel.Env, pr *prompt.Prompt, variant string) Outcome {
+	key, persisted := r.outcomeKey(prof, setting.String(), variant, r.searchName(), th, env)
+	var warm Outcome
+	warmHit, mirror := false, false
+	if persisted {
+		r.notePersistEnv(env, key.Env)
+		if rec, ok := r.ProofStore.LookupOutcome(key); ok {
+			warm = r.rebuildOutcome(prof, setting.String(), th, rec)
+			warmHit = true
+			// Mirror-first: a deterministic sample of warm hits runs the
+			// search anyway and compares; the rest return the warm result.
+			mirror = r.ProofStore.MirrorOutcome(key)
+			if !mirror {
+				return warm
+			}
+		}
+	}
+
 	ng := r.ngramFor(pr)
 	mdl := model.New(prof, env)
 	mdl.Retr = r.retrIdx
@@ -374,6 +413,9 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 		Cache:       r.tryCache(),
 
 		NoScratchArena: r.NoScratchArena,
+	}
+	if r.ProofStore != nil {
+		cfg.MirrorFrac = r.ProofStore.MirrorDen()
 	}
 	search := r.Search
 	if search == nil {
@@ -405,6 +447,16 @@ func (r *Runner) runWithPrompt(prof model.Profile, setting prompt.Setting, th *c
 		out.Similarity = textmetrics.Similarity(out.Proof, th.Proof)
 		out.RelLength = textmetrics.RelativeLength(out.Proof, th.Proof)
 	}
+	if persisted {
+		if warmHit && mirror {
+			r.ProofStore.NoteMirror(out == warm)
+		}
+		r.ProofStore.RecordOutcome(key, store.OutcomeRec{
+			Status:  uint8(out.Status),
+			Queries: out.Queries,
+			Proof:   out.Proof,
+		})
+	}
 	return out
 }
 
@@ -414,7 +466,7 @@ func (r *Runner) RunReduced(prof model.Profile, setting prompt.Setting, th *corp
 	env := r.RestrictEnv(th)
 	b := r.builder(prof, setting)
 	pr := b.ReducedContext(th)
-	return r.runWithPrompt(prof, setting, th, env, pr)
+	return r.runWithPrompt(prof, setting, th, env, pr, "reduced")
 }
 
 // RunSweep evaluates a model over theorems in one setting, fanning out over
@@ -429,6 +481,22 @@ func (r *Runner) RunSweep(prof model.Profile, setting prompt.Setting, ths []*cor
 // Outcome whose Status is Proved only if some attempt replays.
 func (r *Runner) RunWholeProof(prof model.Profile, setting prompt.Setting, th *corpus.Theorem, attempts int) Outcome {
 	env := r.RestrictEnv(th)
+	// Whole-proof generation has no search algorithm, but its outcomes are
+	// just as deterministic; "whole-proof" stands in for the search name and
+	// the attempt budget goes in the variant.
+	key, persisted := r.outcomeKey(prof, setting.String()+"+whole-proof", "whole:"+strconv.Itoa(attempts), "whole-proof", th, env)
+	var warm Outcome
+	warmHit, mirror := false, false
+	if persisted {
+		if rec, ok := r.ProofStore.LookupOutcome(key); ok {
+			warm = r.rebuildOutcome(prof, setting.String()+"+whole-proof", th, rec)
+			warmHit = true
+			mirror = r.ProofStore.MirrorOutcome(key)
+			if !mirror {
+				return warm
+			}
+		}
+	}
 	b := r.builder(prof, setting)
 	pr := b.Build(th)
 	ng := r.ngramFor(pr)
@@ -465,8 +533,18 @@ func (r *Runner) RunWholeProof(prof model.Profile, setting prompt.Setting, th *c
 			out.GenTokens = tokenizer.Count(joined)
 			out.Similarity = textmetrics.Similarity(joined, th.Proof)
 			out.RelLength = textmetrics.RelativeLength(joined, th.Proof)
-			return out
+			break
 		}
+	}
+	if persisted {
+		if warmHit && mirror {
+			r.ProofStore.NoteMirror(out == warm)
+		}
+		r.ProofStore.RecordOutcome(key, store.OutcomeRec{
+			Status:  uint8(out.Status),
+			Queries: out.Queries,
+			Proof:   out.Proof,
+		})
 	}
 	return out
 }

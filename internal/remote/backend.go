@@ -296,9 +296,12 @@ func (d *wireDoc) TryBatch(parent *tactic.State, path []string, sentences []stri
 
 // mismatchError marks a disagreement between wire and mirror — retried on
 // a fresh session before it counts as semantic.
-type mismatchError struct{ desc string }
+type mismatchError struct{ msg string }
 
-func (e *mismatchError) Error() string { return "remote: wire/mirror mismatch: " + e.desc }
+// Error returns the precomputed message: Error implementations are
+// reachable from the search hot path (the proof-cache mirror cross-check
+// compares checker messages), so the render happens at construction.
+func (e *mismatchError) Error() string { return e.msg }
 
 // crossCheck runs the full robustness ladder for one wire execution.
 // Called with d.mu held and d.cl non-nil.
@@ -336,12 +339,12 @@ func (d *wireDoc) ladder(checks int64, step func() error) {
 			return
 		}
 		if mm, ok := err.(*mismatchError); ok {
-			if d.lastMismatch == mm.desc {
+			if d.lastMismatch == mm.msg {
 				// Reproduced on a fresh session: the checkers disagree.
 				d.be.Stats.Mismatches.Add(1)
 				return
 			}
-			d.lastMismatch = mm.desc
+			d.lastMismatch = mm.msg
 		}
 		lastErr = err
 	}
@@ -375,7 +378,7 @@ func (d *wireDoc) align(path []string) error {
 			return err
 		}
 		if res.Status != checker.Applied {
-			return &mismatchError{desc: fmt.Sprintf("replaying %q: %v (%s)", tac, res.Status, res.Message)}
+			return &mismatchError{msg: fmt.Sprintf("remote: wire/mirror mismatch: replaying %q: %v (%s)", tac, res.Status, res.Message)}
 		}
 		d.wirePath = append(d.wirePath, tac)
 	}
@@ -385,15 +388,15 @@ func (d *wireDoc) align(path []string) error {
 // compare checks one wire answer against the mirror's verdict.
 func compare(sentence string, res protocol.ExecResult, local checker.Step) error {
 	if res.Status != local.Status {
-		return &mismatchError{desc: fmt.Sprintf("%q: wire %v, mirror %v", sentence, res.Status, local.Status)}
+		return &mismatchError{msg: fmt.Sprintf("remote: wire/mirror mismatch: %q: wire %v, mirror %v", sentence, res.Status, local.Status)}
 	}
 	if local.Status == checker.Applied {
 		if res.Proved != local.Proved || res.NumGoals != local.NumGoals {
-			return &mismatchError{desc: fmt.Sprintf("%q: wire proved=%v goals=%d, mirror proved=%v goals=%d",
+			return &mismatchError{msg: fmt.Sprintf("remote: wire/mirror mismatch: %q: wire proved=%v goals=%d, mirror proved=%v goals=%d",
 				sentence, res.Proved, res.NumGoals, local.Proved, local.NumGoals)}
 		}
 		if fp := local.State.Fingerprint(); res.Fingerprint != fp {
-			return &mismatchError{desc: fmt.Sprintf("%q: wire fp %s, mirror fp %s", sentence, res.Fingerprint, fp)}
+			return &mismatchError{msg: fmt.Sprintf("remote: wire/mirror mismatch: %q: wire fp %s, mirror fp %s", sentence, res.Fingerprint, fp)}
 		}
 	}
 	return nil

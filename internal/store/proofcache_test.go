@@ -1,0 +1,254 @@
+package store
+
+import (
+	"testing"
+)
+
+func openCacheT(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := OpenCache(cfg)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	return c
+}
+
+func closeCacheT(t *testing.T, c *Cache) {
+	t.Helper()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Cache.Close: %v", err)
+	}
+}
+
+var testCorpus = [2]uint64{0x1111, 0x2222}
+
+func testOutcomeKey() OutcomeKey {
+	return OutcomeKey{
+		Env:     [2]uint64{3, 4},
+		Root:    [2]uint64{5, 6},
+		Profile: 7,
+		Setting: "with-hints",
+		Variant: "std",
+		Search:  "best-first",
+		Width:   4,
+		Fuel:    128,
+		Seed:    99,
+	}
+}
+
+func TestOutcomeRoundtripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	k := testOutcomeKey()
+	if _, ok := c.LookupOutcome(k); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	rec := OutcomeRec{Status: 2, Queries: 17, Proof: "intros.\nauto."}
+	c.RecordOutcome(k, rec)
+	closeCacheT(t, c) // drains the write-behind queue
+
+	c2 := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	defer closeCacheT(t, c2)
+	got, ok := c2.LookupOutcome(k)
+	if !ok {
+		t.Fatal("recorded outcome missing after reopen")
+	}
+	if got != rec {
+		t.Fatalf("outcome = %+v; want %+v", got, rec)
+	}
+	st := c2.Stats()
+	if st.OutcomeHits != 1 || st.OutcomeMisses != 0 {
+		t.Fatalf("hits/misses = %d/%d; want 1/0", st.OutcomeHits, st.OutcomeMisses)
+	}
+}
+
+func TestOutcomeKeyComponentsDiscriminate(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	defer closeCacheT(t, c)
+	base := testOutcomeKey()
+	c.RecordOutcome(base, OutcomeRec{Status: 1})
+	c.Flush()
+
+	// Every field of the key must discriminate: a change in any one is a
+	// miss, which is what makes invalidation by construction work.
+	variants := map[string]OutcomeKey{}
+	k := base
+	k.Env = [2]uint64{30, 40}
+	variants["env"] = k
+	k = base
+	k.Root = [2]uint64{50, 60}
+	variants["root"] = k
+	k = base
+	k.Profile = 70
+	variants["profile"] = k
+	k = base
+	k.Setting = "sketch"
+	variants["setting"] = k
+	k = base
+	k.Variant = "reduced"
+	variants["variant"] = k
+	k = base
+	k.Search = "linear"
+	variants["search"] = k
+	k = base
+	k.Width = 5
+	variants["width"] = k
+	k = base
+	k.Fuel = 129
+	variants["fuel"] = k
+	k = base
+	k.Seed = 100
+	variants["seed"] = k
+	for name, v := range variants {
+		if _, ok := c.LookupOutcome(v); ok {
+			t.Errorf("changed %s but lookup still hit", name)
+		}
+	}
+	// Delimited strings must not be confusable across field boundaries.
+	k = base
+	k.Setting, k.Variant = base.Setting+"x", base.Variant
+	c.RecordOutcome(k, OutcomeRec{Status: 3})
+	c.Flush()
+	if got, ok := c.LookupOutcome(base); !ok || got.Status != 1 {
+		t.Fatalf("base key perturbed by neighbour record: %+v %v", got, ok)
+	}
+}
+
+func TestCorpusHashIsolatesCaches(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	k := testOutcomeKey()
+	c.RecordOutcome(k, OutcomeRec{Status: 2, Proof: "auto."})
+	env := [2]uint64{3, 4}
+	c.RecordTry(env, TryRec{State: [2]uint64{9, 9}, Sentence: "ring.", Status: 1, Msg: "no"})
+	closeCacheT(t, c)
+
+	// Same directory, different corpus hash (one flipped bit): everything
+	// is a miss — outcome lookups and Try warm buckets alike.
+	other := [2]uint64{testCorpus[0] ^ 1, testCorpus[1]}
+	c2 := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: other})
+	defer closeCacheT(t, c2)
+	if _, ok := c2.LookupOutcome(k); ok {
+		t.Fatal("outcome hit across corpus hash change")
+	}
+	if recs := c2.TryRecords(env); len(recs) != 0 {
+		t.Fatalf("TryRecords across corpus hash change = %d; want 0", len(recs))
+	}
+}
+
+func TestTryRecordsBucketedAndSorted(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	envA := [2]uint64{1, 1}
+	envB := [2]uint64{2, 2}
+	// Insert out of order; the warm bucket must come back sorted.
+	c.RecordTry(envA, TryRec{State: [2]uint64{9, 0}, Sentence: "zeta.", Status: 1, Msg: "m1"})
+	c.RecordTry(envA, TryRec{State: [2]uint64{1, 0}, Sentence: "beta.", Status: 2, Msg: "m2"})
+	c.RecordTry(envA, TryRec{State: [2]uint64{1, 0}, Sentence: "alpha.", Status: 1, Msg: "m3"})
+	c.RecordTry(envB, TryRec{State: [2]uint64{5, 5}, Sentence: "only.", Status: 1, Msg: "m4"})
+	closeCacheT(t, c)
+
+	c2 := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	defer closeCacheT(t, c2)
+	recsA := c2.TryRecords(envA)
+	if len(recsA) != 3 {
+		t.Fatalf("envA records = %d; want 3", len(recsA))
+	}
+	wantOrder := []string{"alpha.", "beta.", "zeta."}
+	for i, want := range wantOrder {
+		if recsA[i].Sentence != want {
+			t.Fatalf("envA[%d].Sentence = %q; want %q (sorted)", i, recsA[i].Sentence, want)
+		}
+	}
+	if recsA[0].Status != 1 || recsA[0].Msg != "m3" {
+		t.Fatalf("envA[0] = %+v; want Status 1 Msg m3", recsA[0])
+	}
+	if recsB := c2.TryRecords(envB); len(recsB) != 1 || recsB[0].Sentence != "only." {
+		t.Fatalf("envB records = %+v; want the single only. record", recsB)
+	}
+	if recs := c2.TryRecords([2]uint64{7, 7}); len(recs) != 0 {
+		t.Fatalf("unknown env records = %d; want 0", len(recs))
+	}
+}
+
+func TestMirrorOutcomeDeterministicSampling(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus, MirrorDen: 4})
+	defer closeCacheT(t, c)
+	k := testOutcomeKey()
+	first := c.MirrorOutcome(k)
+	for i := 0; i < 10; i++ {
+		if c.MirrorOutcome(k) != first {
+			t.Fatal("MirrorOutcome not deterministic for a fixed key")
+		}
+	}
+	// Across many distinct keys the sample must be non-trivial: some picked,
+	// some not (a degenerate all/none sample would make mirroring useless or
+	// as expensive as a cold run).
+	picked := 0
+	for i := 0; i < 256; i++ {
+		k.Seed = int64(i)
+		if c.MirrorOutcome(k) {
+			picked++
+		}
+	}
+	if picked == 0 || picked == 256 {
+		t.Fatalf("mirror sample degenerate: %d/256", picked)
+	}
+
+	off := openCacheT(t, CacheConfig{Dir: t.TempDir(), CorpusHash: testCorpus})
+	defer closeCacheT(t, off)
+	if off.MirrorOutcome(k) {
+		t.Fatal("MirrorOutcome true with mirroring disabled")
+	}
+	all := openCacheT(t, CacheConfig{Dir: t.TempDir(), CorpusHash: testCorpus, MirrorDen: 1})
+	defer closeCacheT(t, all)
+	if !all.MirrorOutcome(k) {
+		t.Fatal("MirrorOutcome false with MirrorDen=1")
+	}
+}
+
+func TestReadOnlyCacheDropsRecords(t *testing.T) {
+	dir := t.TempDir()
+	c := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	k := testOutcomeKey()
+	c.RecordOutcome(k, OutcomeRec{Status: 2, Proof: "auto."})
+	closeCacheT(t, c)
+
+	ro := openCacheT(t, CacheConfig{Dir: dir, ReadOnly: true, CorpusHash: testCorpus})
+	if _, ok := ro.LookupOutcome(k); !ok {
+		t.Fatal("read-only cache missed a persisted outcome")
+	}
+	k2 := testOutcomeKey()
+	k2.Seed = 123456
+	ro.RecordOutcome(k2, OutcomeRec{Status: 1})
+	if st := ro.Stats(); st.Dropped == 0 {
+		t.Fatalf("read-only record not counted as dropped: %+v", st)
+	}
+	closeCacheT(t, ro)
+
+	c2 := openCacheT(t, CacheConfig{Dir: dir, CorpusHash: testCorpus})
+	defer closeCacheT(t, c2)
+	if _, ok := c2.LookupOutcome(k2); ok {
+		t.Fatal("read-only cache persisted a record")
+	}
+}
+
+func TestNoteMirrorCounters(t *testing.T) {
+	c := openCacheT(t, CacheConfig{Dir: t.TempDir(), CorpusHash: testCorpus, MirrorDen: 2})
+	defer closeCacheT(t, c)
+	c.NoteMirror(true)
+	c.NoteMirror(true)
+	c.NoteMirror(false)
+	st := c.Stats()
+	if st.MirrorChecks != 3 || st.MirrorMismatches != 1 {
+		t.Fatalf("mirror counters = %d/%d; want 3/1", st.MirrorChecks, st.MirrorMismatches)
+	}
+	if c.Mismatches() != 1 {
+		t.Fatalf("Mismatches = %d; want 1", c.Mismatches())
+	}
+	if c.MirrorDen() != 2 {
+		t.Fatalf("MirrorDen = %d; want 2", c.MirrorDen())
+	}
+}
